@@ -1,0 +1,243 @@
+//! Abortable binary tournament lock — the `O(log N)` comparison point of
+//! Table 1 (Jayanti \[17\] / Lee \[20\] row shape).
+//!
+//! A complete binary tree of two-party Peterson locks over `N` (padded)
+//! leaves. A process climbs from its leaf to the root, winning each
+//! node's Peterson instance against the sibling subtree; on an abort
+//! signal it withdraws from the node it is contending at (clearing its
+//! flag is always safe in Peterson) and releases everything it had won,
+//! bottom of the tree getting released last.
+//!
+//! Cost shape: *every* passage — contended or not, aborting or not —
+//! climbs `Θ(log N)` nodes, which is exactly the non-adaptive
+//! `O(log N)` worst case *and* no-abort cost that the paper's
+//! `O(log_W A)` result is measured against. Uses only reads and writes.
+//!
+//! Fidelity note: Jayanti's algorithm additionally adapts to point
+//! contention (`O(min(k, log N))`) via an LL/SC f-array; we do not
+//! reproduce that structure — Table 1's "worst-case" and "no-abort"
+//! columns, which the benchmarks regenerate, are unaffected.
+
+use sal_core::Lock;
+use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray};
+
+/// The abortable Peterson-tournament lock. Long-lived, starvation-free
+/// (each Peterson node has bounded bypass), abortable at any point of the
+/// climb.
+#[derive(Clone, Debug)]
+pub struct TournamentLock {
+    /// `flag[2·node + side]` for internal nodes `1..n_pad`.
+    flags: WordArray,
+    /// `turn[node]`.
+    turns: WordArray,
+    /// Number of padded leaves (power of two).
+    n_pad: usize,
+    /// Tree height = number of Peterson levels.
+    levels: usize,
+}
+
+impl TournamentLock {
+    /// Lay out a tournament over `n` processes.
+    pub fn layout(b: &mut MemoryBuilder, n: usize) -> Self {
+        assert!(n >= 1);
+        let n_pad = n.next_power_of_two().max(2);
+        let levels = n_pad.trailing_zeros() as usize;
+        TournamentLock {
+            flags: b.alloc_array(2 * n_pad, 0),
+            turns: b.alloc_array(n_pad, 0),
+            n_pad,
+            levels,
+        }
+    }
+
+    /// Number of Peterson levels (`⌈log₂ N⌉`).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    #[inline]
+    fn node_side(&self, p: Pid, level: usize) -> (usize, usize) {
+        let leaf = self.n_pad + p;
+        (leaf >> level, (leaf >> (level - 1)) & 1)
+    }
+
+    /// Peterson entry at one node; `false` means the process withdrew in
+    /// response to the signal (its flag is already cleared).
+    fn acquire_node<M, S>(&self, mem: &M, p: Pid, node: usize, side: usize, signal: &S) -> bool
+    where
+        M: Mem + ?Sized,
+        S: AbortSignal + ?Sized,
+    {
+        let other = 1 - side;
+        mem.write(p, self.flags.at(2 * node + side), 1);
+        mem.write(p, self.turns.at(node), other as u64);
+        while mem.read(p, self.flags.at(2 * node + other)) == 1
+            && mem.read(p, self.turns.at(node)) == other as u64
+        {
+            if signal.is_set() {
+                mem.write(p, self.flags.at(2 * node + side), 0);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn release_node<M: Mem + ?Sized>(&self, mem: &M, p: Pid, node: usize, side: usize) {
+        mem.write(p, self.flags.at(2 * node + side), 0);
+    }
+
+    /// Climb the tree; abortable.
+    pub fn acquire<M, S>(&self, mem: &M, p: Pid, signal: &S) -> bool
+    where
+        M: Mem + ?Sized,
+        S: AbortSignal + ?Sized,
+    {
+        for level in 1..=self.levels {
+            let (node, side) = self.node_side(p, level);
+            if !self.acquire_node(mem, p, node, side, signal) {
+                // Withdraw: release everything won so far, top-down.
+                for l in (1..level).rev() {
+                    let (n, s) = self.node_side(p, l);
+                    self.release_node(mem, p, n, s);
+                }
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Descend the tree, releasing from the root downward.
+    pub fn release<M: Mem + ?Sized>(&self, mem: &M, p: Pid) {
+        for level in (1..=self.levels).rev() {
+            let (node, side) = self.node_side(p, level);
+            self.release_node(mem, p, node, side);
+        }
+    }
+}
+
+impl Lock for TournamentLock {
+    fn name(&self) -> String {
+        "tournament".into()
+    }
+
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal) -> bool {
+        self.acquire(mem, p, signal)
+    }
+
+    fn exit(&self, mem: &dyn Mem, p: Pid) {
+        self.release(mem, p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sal_memory::{AbortFlag, NeverAbort, RmrProbe};
+    use sal_runtime::{run_lock, ProcPlan, RandomSchedule, WorkloadSpec};
+
+    fn build(n: usize) -> (TournamentLock, sal_memory::WordId, sal_memory::CcMemory) {
+        let mut b = MemoryBuilder::new();
+        let lock = TournamentLock::layout(&mut b, n);
+        let cs = b.alloc(0);
+        (lock, cs, b.build_cc(n))
+    }
+
+    #[test]
+    fn height_is_log2() {
+        let mut b = MemoryBuilder::new();
+        assert_eq!(TournamentLock::layout(&mut b, 8).levels(), 3);
+        assert_eq!(TournamentLock::layout(&mut b, 9).levels(), 4);
+        assert_eq!(TournamentLock::layout(&mut b, 1).levels(), 1);
+    }
+
+    #[test]
+    fn solo_acquire_release_reusable() {
+        let (lock, _, mem) = build(4);
+        for _ in 0..5 {
+            assert!(lock.acquire(&mem, 2, &NeverAbort));
+            lock.release(&mem, 2);
+        }
+    }
+
+    #[test]
+    fn abort_releases_partial_claims() {
+        let (lock, _, mem) = build(4);
+        assert!(lock.acquire(&mem, 0, &NeverAbort));
+        // p1 shares the root with p0's side? p1 is p0's sibling: clashes
+        // at level 1 already; the signal makes it withdraw.
+        let sig = AbortFlag::new();
+        sig.set();
+        assert!(!lock.acquire(&mem, 1, &sig));
+        lock.release(&mem, 0);
+        // p1's withdrawal left no residue: p3 can pass through both
+        // levels.
+        assert!(lock.acquire(&mem, 3, &NeverAbort));
+        lock.release(&mem, 3);
+        assert!(lock.acquire(&mem, 1, &NeverAbort));
+        lock.release(&mem, 1);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_random_schedules() {
+        for seed in 0..20 {
+            let (lock, cs, mem) = build(4);
+            let spec = WorkloadSpec::uniform(4, 2);
+            let report = run_lock(
+                &lock,
+                &mem,
+                cs,
+                &spec,
+                Box::new(RandomSchedule::seeded(seed)),
+            )
+            .unwrap();
+            report.assert_safe();
+            assert_eq!(mem.read(0, cs), 8, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn aborters_do_not_wedge_the_tree() {
+        for seed in 0..10 {
+            let (lock, cs, mem) = build(8);
+            let mut plans = vec![ProcPlan::normal(1); 4];
+            plans.extend(vec![ProcPlan::aborter(1, 40); 4]);
+            let spec = WorkloadSpec {
+                plans,
+                cs_ops: 2,
+                max_steps: 2_000_000,
+            };
+            let report = run_lock(
+                &lock,
+                &mem,
+                cs,
+                &spec,
+                Box::new(RandomSchedule::seeded(seed)),
+            )
+            .unwrap();
+            report.assert_safe();
+            // The four normal processes always get in.
+            for p in 0..4 {
+                assert_eq!(report.outcomes[p].0, 1, "seed {seed} pid {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncontended_cost_is_still_logarithmic() {
+        // The defining non-adaptivity: even alone, a process pays ~2 RMRs
+        // per level — this is the curve the paper's O(1) no-abort result
+        // beats.
+        let (lock, _, mem) = build(64);
+        // Warm one passage, then measure a second (steady-state caching).
+        assert!(lock.acquire(&mem, 0, &NeverAbort));
+        lock.release(&mem, 0);
+        let probe = RmrProbe::start(&mem, 0);
+        assert!(lock.acquire(&mem, 0, &NeverAbort));
+        lock.release(&mem, 0);
+        let cost = probe.rmrs(&mem);
+        assert!(
+            cost >= 2 * 6,
+            "tournament passage should pay ≥ 2 RMRs per level: {cost}"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! W1 — wall-clock sanity benches (Criterion).
+//!
+//! The paper's claims are about RMRs, not nanoseconds; these benches
+//! exist to show the real-atomics build (`sal-sync`) is a usable lock:
+//! uncontended latency in the same league as `std::sync::Mutex`, graceful
+//! behaviour under contention, and cheap failed try-locks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sal_baselines::McsLock;
+use sal_memory::{Mem, MemoryBuilder, NeverAbort};
+use sal_sync::AbortableMutex;
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn uncontended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncontended_lock_unlock");
+
+    group.bench_function("abortable_mutex", |bench| {
+        let m = AbortableMutex::with_capacity(0u64, 2);
+        let mut h = m.handle();
+        bench.iter(|| {
+            *h.lock() += 1;
+        });
+    });
+
+    group.bench_function("std_mutex", |bench| {
+        let m = Mutex::new(0u64);
+        bench.iter(|| {
+            *m.lock().unwrap() += 1;
+        });
+    });
+
+    group.bench_function("mcs_raw", |bench| {
+        let mut b = MemoryBuilder::new();
+        let lock = McsLock::layout(&mut b, 2);
+        let w = b.alloc(0);
+        let mem = b.build_raw(2);
+        bench.iter(|| {
+            lock.acquire(&mem, 0);
+            mem.write(0, w, black_box(mem.read(0, w) + 1));
+            lock.release(&mem, 0);
+        });
+    });
+
+    group.finish();
+}
+
+fn contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contended_increments");
+    group.sample_size(10);
+    for &threads in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("abortable_mutex", threads),
+            &threads,
+            |bench, &threads| {
+                bench.iter_custom(|iters| {
+                    let per_thread = (iters as usize).max(1);
+                    let m = Arc::new(AbortableMutex::with_capacity(0u64, threads));
+                    let start = Instant::now();
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            let m = Arc::clone(&m);
+                            s.spawn(move || {
+                                let mut h = m.handle();
+                                for _ in 0..per_thread {
+                                    *h.lock() += 1;
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed() / threads as u32
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("std_mutex", threads),
+            &threads,
+            |bench, &threads| {
+                bench.iter_custom(|iters| {
+                    let per_thread = (iters as usize).max(1);
+                    let m = Arc::new(Mutex::new(0u64));
+                    let start = Instant::now();
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            let m = Arc::clone(&m);
+                            s.spawn(move || {
+                                for _ in 0..per_thread {
+                                    *m.lock().unwrap() += 1;
+                                }
+                            });
+                        }
+                    });
+                    start.elapsed() / threads as u32
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn abort_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abort_paths");
+
+    // Failed try-lock while another handle holds the lock: the paper's
+    // bounded-abort property as wall-clock.
+    group.bench_function("failed_try_lock", |bench| {
+        let m = AbortableMutex::with_capacity(0u64, 2);
+        let mut holder = m.handle();
+        let mut waiter = m.handle();
+        let g = holder.lock();
+        bench.iter(|| {
+            assert!(black_box(waiter.try_lock()).is_none());
+        });
+        drop(g);
+    });
+
+    // Expired-deadline acquisition attempt on a held lock.
+    group.bench_function("expired_deadline_try", |bench| {
+        let m = AbortableMutex::with_capacity(0u64, 2);
+        let mut holder = m.handle();
+        let mut waiter = m.handle();
+        let g = holder.lock();
+        let past = Instant::now() - Duration::from_millis(1);
+        bench.iter(|| {
+            assert!(black_box(waiter.try_lock_until(past)).is_none());
+        });
+        drop(g);
+    });
+
+    // Uncontended abortable acquisition (signal never fires).
+    group.bench_function("abortable_enter_no_signal", |bench| {
+        let m = AbortableMutex::with_capacity(0u64, 2);
+        let mut h = m.handle();
+        bench.iter(|| {
+            let g = h.lock_abortable(&NeverAbort).unwrap();
+            drop(g);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, uncontended, contended, abort_paths);
+criterion_main!(benches);

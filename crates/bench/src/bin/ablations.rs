@@ -1,0 +1,326 @@
+//! Ablation studies of the paper's design choices.
+//!
+//! ```text
+//! cargo run --release -p sal-bench --bin ablations -- [sidestep|resets|dsm|wrapper|all]
+//! ```
+//!
+//! * `sidestep` — Algorithm 4.3's right-cousin sidestep, on vs off, at
+//!   the *lock* level: what the adaptive ascent buys a complete passage.
+//! * `resets`  — the §6.2 eager-reset quota (wraparound guard): its cost
+//!   per instance switch at 0 / 1 / 8 words.
+//! * `dsm`     — the §3 DSM indirection (announce + local spin bit):
+//!   what it costs under CC and what it saves under DSM.
+//! * `wrapper` — Figure-5 simple vs §6.2 bounded: the price of bounded
+//!   space.
+
+use sal_bench::report::save_json;
+use sal_bench::{no_abort_sweep, worst_case_sweep, LockKind, Table};
+use sal_core::long_lived::BoundedLongLivedLock;
+use sal_core::one_shot::DsmOneShotLock;
+use sal_core::tree::Ascent;
+use sal_memory::{Mem, MemoryBuilder, NeverAbort, RmrProbe};
+
+/// Adaptive vs plain ascent, complete-passage worst case.
+fn sidestep() {
+    let mut table = Table::new(
+        "A1 — ablation: AdaptiveFindNext (Alg 4.3) vs FindNext (Alg 4.1), worst-case passage",
+        &["N", "plain ascent", "adaptive ascent"],
+    );
+    let mut points = Vec::new();
+    for &n in &[16usize, 64, 256] {
+        let plain = worst_case_sweep(LockKind::OneShotPlain { b: 2 }, n, 17).expect("sim");
+        let adaptive = worst_case_sweep(LockKind::OneShot { b: 2 }, n, 17).expect("sim");
+        assert!(plain.mutex_ok && adaptive.mutex_ok);
+        table.row(vec![
+            n.to_string(),
+            plain.max_entered_rmrs.to_string(),
+            adaptive.max_entered_rmrs.to_string(),
+        ]);
+        points.push((n, plain.max_entered_rmrs, adaptive.max_entered_rmrs));
+    }
+    table.print();
+    println!(
+        "note: with N−2 aborters both pay O(log A) ≈ O(log N); the sidestep's win shows at\n\
+         *low* abort counts — see `figures -- fig4` where the plain ascent pays the full\n\
+         height and the adaptive one pays O(1)."
+    );
+
+    let mut table = Table::new(
+        "A1b — same ablation at A = 2 aborters (N = 256): adaptivity is the whole story",
+        &["ascent", "max RMRs/passage"],
+    );
+    for (label, kind) in [
+        ("plain", LockKind::OneShotPlain { b: 2 }),
+        ("adaptive", LockKind::OneShot { b: 2 }),
+    ] {
+        let p = sal_bench::adaptive_sweep(kind, 256, 2, 23).expect("sim");
+        assert!(p.mutex_ok);
+        table.row(vec![label.into(), p.max_entered_rmrs.to_string()]);
+    }
+    table.print();
+    save_json("ablation_sidestep", &points);
+}
+
+/// Eager-reset quota: measured overhead per passage when every passage
+/// switches instances (solo process).
+fn resets() {
+    let mut table = Table::new(
+        "A2 — ablation: §6.2 eager wraparound-reset quota (solo process, 30 switches)",
+        &[
+            "eager words/switch",
+            "max RMRs/passage",
+            "mean RMRs/passage",
+        ],
+    );
+    let mut points = Vec::new();
+    for &quota in &[0usize, 1, 8, 32] {
+        let mut b = MemoryBuilder::new();
+        let lock = BoundedLongLivedLock::layout_with(&mut b, 2, 8, Ascent::Adaptive, quota);
+        let mem = b.build_cc(2);
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        let rounds = 30u64;
+        for _ in 0..rounds {
+            let probe = RmrProbe::start(&mem, 0);
+            assert!(lock.enter(&mem, 0, &NeverAbort));
+            lock.exit(&mem, 0);
+            let c = probe.rmrs(&mem);
+            max = max.max(c);
+            sum += c;
+        }
+        table.row(vec![
+            quota.to_string(),
+            max.to_string(),
+            format!("{:.1}", sum as f64 / rounds as f64),
+        ]);
+        points.push((quota, max, sum as f64 / rounds as f64));
+    }
+    table.print();
+    println!("shape check: each eagerly reset word adds ~2–3 RMRs to the switching passage.");
+    save_json("ablation_resets", &points);
+}
+
+/// The DSM indirection, costed under both models.
+fn dsm() {
+    let mut table = Table::new(
+        "A3 — ablation: §3 DSM indirection (announce[] + local spin bit), N = 64",
+        &[
+            "variant / model",
+            "max RMRs of a passage (sequential handoffs)",
+        ],
+    );
+    // CC variant under CC memory.
+    {
+        let mut b = MemoryBuilder::new();
+        let lock = sal_core::one_shot::OneShotLock::layout(&mut b, 64, 8);
+        let mem = b.build_cc(64);
+        let mut max = 0;
+        for p in 0..64 {
+            let probe = RmrProbe::start(&mem, p);
+            assert!(lock.enter(&mem, p, &NeverAbort).entered());
+            lock.exit(&mem, p);
+            max = max.max(probe.rmrs(&mem));
+        }
+        table.row(vec!["plain variant under CC".into(), max.to_string()]);
+    }
+    // DSM variant under CC (overhead) and under DSM (the point).
+    for (label, dsm_model) in [
+        ("DSM variant under CC", false),
+        ("DSM variant under DSM", true),
+    ] {
+        let mut b = MemoryBuilder::new();
+        let lock = DsmOneShotLock::layout(&mut b, 64, 8);
+        let max = if dsm_model {
+            let mem = b.build_dsm(64);
+            run_dsm(&lock, &mem)
+        } else {
+            let mem = b.build_cc(64);
+            run_dsm(&lock, &mem)
+        };
+        table.row(vec![label.into(), max.to_string()]);
+    }
+    table.print();
+    println!(
+        "shape check: the indirection costs a constant handful of extra RMRs, and makes \
+         the spin loop local in the DSM model (where the plain variant's spin would be \
+         unboundedly remote)."
+    );
+}
+
+/// The §3 motivation, measured: under the DSM model a waiter on the
+/// plain variant's dynamically-assigned `go` slot pays one RMR per spin
+/// iteration (the slot is remote), while the DSM variant's local spin
+/// bit is free — the gap grows linearly with how long the wait lasts.
+fn dsm_spin() {
+    use sal_core::Lock;
+    use sal_runtime::{simulate, RoundRobin, SimOptions};
+
+    let mut table = Table::new(
+        "A3b — the waiter's total RMRs under the DSM model vs how long the owner holds the CS",
+        &[
+            "owner CS steps",
+            "plain variant (remote spin)",
+            "DSM variant (local spin)",
+        ],
+    );
+    let mut points = Vec::new();
+    for &hold in &[4u64, 16, 64, 256] {
+        let mut row = vec![hold.to_string()];
+        for dsm_variant in [false, true] {
+            let mut b = MemoryBuilder::new();
+            let lock: Box<dyn Lock> = if dsm_variant {
+                Box::new(DsmOneShotLock::layout(&mut b, 2, 4))
+            } else {
+                Box::new(sal_core::one_shot::OneShotLock::layout(&mut b, 2, 4))
+            };
+            // The owner's in-CS work touches only its own home word, so
+            // the waiter's counter isolates the cost of *waiting*.
+            let owner_pad = b.alloc_at(0, 0);
+            let mem = b.build_dsm(2);
+            // Round-robin: p0 wins ticket 0 and holds the CS for `hold`
+            // steps while p1 spins.
+            simulate(
+                &mem,
+                2,
+                Box::new(RoundRobin::new()),
+                SimOptions::default(),
+                |ctx| {
+                    assert!(lock.enter(ctx.mem, ctx.pid, &sal_memory::NeverAbort));
+                    if ctx.pid == 0 {
+                        for _ in 0..hold {
+                            ctx.mem.read(0, owner_pad); // home-local, free
+                        }
+                    }
+                    lock.exit(ctx.mem, ctx.pid);
+                },
+            )
+            .expect("sim failed");
+            let waiter = mem.rmrs(1);
+            row.push(waiter.to_string());
+            points.push((hold, dsm_variant, waiter));
+        }
+        table.row(row);
+    }
+    table.print();
+    println!(
+        "shape check: the plain variant's waiter cost grows with the wait (unbounded in \
+         the limit — the §3 problem); the DSM variant's stays flat."
+    );
+    save_json("ablation_dsm_spin", &points);
+}
+
+fn run_dsm<M: Mem>(lock: &DsmOneShotLock, mem: &M) -> u64 {
+    let mut max = 0;
+    for p in 0..64 {
+        let probe = RmrProbe::start(mem, p);
+        assert!(lock.enter(mem, p, &NeverAbort).entered());
+        lock.exit(mem, p);
+        max = max.max(probe.rmrs(mem));
+    }
+    max
+}
+
+/// §7: what F&A buys over read+CAS emulation in the tree's Remove.
+fn faa() {
+    use sal_core::tree::Tree;
+    use sal_runtime::{simulate, RandomSchedule, SimOptions};
+
+    let mut table = Table::new(
+        "A5 — §7 primitive strength: total RMRs of k concurrent Removes under one B=64 node",
+        &["k removers", "F&A (Alg 4.2)", "read+CAS emulation"],
+    );
+    let mut points = Vec::new();
+    for &k in &[2usize, 8, 32, 64] {
+        let mut faa_total = 0u64;
+        let mut cas_total = 0u64;
+        for seed in 0..10u64 {
+            for use_cas in [false, true] {
+                let mut b = MemoryBuilder::new();
+                let tree = Tree::layout(&mut b, 64, 64);
+                let mem = b.build_cc(k);
+                simulate(
+                    &mem,
+                    k,
+                    Box::new(RandomSchedule::seeded(seed)),
+                    SimOptions::default(),
+                    |ctx| {
+                        if use_cas {
+                            tree.remove_with_cas(ctx.mem, ctx.pid, ctx.pid as u64);
+                        } else {
+                            tree.remove(ctx.mem, ctx.pid, ctx.pid as u64);
+                        }
+                    },
+                )
+                .expect("sim failed");
+                if use_cas {
+                    cas_total += mem.total_rmrs();
+                } else {
+                    faa_total += mem.total_rmrs();
+                }
+            }
+        }
+        table.row(vec![k.to_string(), faa_total.to_string(), cas_total.to_string()]);
+        points.push((k, faa_total, cas_total));
+    }
+    table.print();
+    println!(
+        "shape check: F&A is exactly one RMR per Remove (totals = 10k); the CAS loop pays \
+         2× plus retries that grow with contention — the gap §7 credits for beating the \
+         LL/SC f-array approach."
+    );
+    save_json("ablation_faa", &points);
+}
+
+/// Simple (unbounded) vs bounded wrapper cost.
+fn wrapper() {
+    let mut table = Table::new(
+        "A4 — ablation: Figure-5 simple vs §6.2 bounded long-lived wrapper (N = 8, clean)",
+        &["implementation", "max RMRs/passage", "mean RMRs/passage"],
+    );
+    let mut points = Vec::new();
+    for kind in [
+        LockKind::LongLivedSimple { b: 8 },
+        LockKind::LongLived { b: 8 },
+    ] {
+        let p = no_abort_sweep(kind, 8, 4, 31).expect("sim");
+        assert!(p.mutex_ok);
+        table.row(vec![
+            kind.label(),
+            p.max_entered_rmrs.to_string(),
+            format!("{:.1}", p.mean_entered_rmrs),
+        ]);
+        points.push(p);
+    }
+    table.print();
+    println!(
+        "shape check: bounded space costs a constant factor (version reads + V_w flips), \
+         never an asymptotic one."
+    );
+    save_json("ablation_wrapper", &points);
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "sidestep" => sidestep(),
+        "resets" => resets(),
+        "dsm" => {
+            dsm();
+            dsm_spin();
+        }
+        "wrapper" => wrapper(),
+        "faa" => faa(),
+        "all" => {
+            sidestep();
+            resets();
+            dsm();
+            dsm_spin();
+            faa();
+            wrapper();
+        }
+        other => {
+            eprintln!("unknown ablation {other}; use sidestep|resets|dsm|faa|wrapper|all");
+            std::process::exit(2);
+        }
+    }
+}

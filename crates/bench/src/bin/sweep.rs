@@ -1,0 +1,246 @@
+//! Ad-hoc experiment CLI: run any lock × workload × schedule combination
+//! and print the measured RMR statistics.
+//!
+//! ```text
+//! cargo run --release -p sal-bench --bin sweep -- \
+//!     --lock one-shot --b 16 --n 64 --aborters 10 --passages 1 \
+//!     --seed 42 --policy random --cs-ops 2
+//! ```
+//!
+//! Locks: `one-shot`, `one-shot-plain`, `one-shot-dsm`, `long-lived`,
+//! `long-lived-simple`, `mcs`, `ticket`, `tas`, `tournament`, `scott`,
+//! `lee`. Policies: `random`, `round-robin`, `bursty`.
+
+use sal_bench::{build_lock, LockKind, Table};
+use sal_runtime::{
+    run_lock, run_one_shot, BurstySchedule, ProcPlan, RandomSchedule, RoundRobin, SchedulePolicy,
+    WorkloadSpec,
+};
+
+#[derive(Debug)]
+struct Args {
+    lock: String,
+    b: usize,
+    n: usize,
+    aborters: usize,
+    abort_after: u64,
+    passages: usize,
+    seed: u64,
+    policy: String,
+    cs_ops: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            lock: "one-shot".into(),
+            b: 16,
+            n: 16,
+            aborters: 0,
+            abort_after: 64,
+            passages: 1,
+            seed: 1,
+            policy: "random".into(),
+            cs_ops: 2,
+        }
+    }
+}
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--lock" => args.lock = value()?,
+            "--b" => args.b = value()?.parse().map_err(|e| format!("--b: {e}"))?,
+            "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--aborters" => {
+                args.aborters = value()?.parse().map_err(|e| format!("--aborters: {e}"))?
+            }
+            "--abort-after" => {
+                args.abort_after = value()?
+                    .parse()
+                    .map_err(|e| format!("--abort-after: {e}"))?
+            }
+            "--passages" => {
+                args.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?
+            }
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--policy" => args.policy = value()?,
+            "--cs-ops" => args.cs_ops = value()?.parse().map_err(|e| format!("--cs-ops: {e}"))?,
+            "--help" | "-h" => {
+                // `println!` panics on EPIPE (e.g. `sweep --help | head`);
+                // help output should just stop quietly.
+                use std::io::Write;
+                let _ = writeln!(std::io::stdout(), "{}", HELP);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+const HELP: &str = "sweep — run one lock/workload/schedule combination under exact RMR accounting
+
+flags:
+  --lock <kind>        one-shot | one-shot-plain | one-shot-dsm | long-lived |
+                       long-lived-simple | mcs | ticket | tas | tournament | scott | lee
+  --b <2..=64>         tree branching factor for the paper's locks (default 16)
+  --n <procs>          number of processes (default 16)
+  --aborters <k>       how many processes play the aborter role (default 0)
+  --abort-after <s>    abort after waiting this many global steps (default 64)
+  --passages <k>       passages per process (forced to 1 for one-shot locks)
+  --seed <u64>         schedule seed (default 1)
+  --policy <p>         random | round-robin | bursty (default random)
+  --cs-ops <k>         shared ops inside the CS (default 2)";
+
+fn lock_kind(args: &Args) -> Result<LockKind, String> {
+    Ok(match args.lock.as_str() {
+        "one-shot" => LockKind::OneShot { b: args.b },
+        "one-shot-plain" => LockKind::OneShotPlain { b: args.b },
+        "one-shot-dsm" => LockKind::OneShotDsm { b: args.b },
+        "long-lived" => LockKind::LongLived { b: args.b },
+        "long-lived-simple" => LockKind::LongLivedSimple { b: args.b },
+        "mcs" => LockKind::Mcs,
+        "ticket" => LockKind::Ticket,
+        "tas" => LockKind::Tas,
+        "tournament" => LockKind::Tournament,
+        "scott" => LockKind::Scott,
+        "lee" => LockKind::Lee,
+        other => return Err(format!("unknown lock {other}")),
+    })
+}
+
+fn policy(args: &Args) -> Result<Box<dyn SchedulePolicy>, String> {
+    Ok(match args.policy.as_str() {
+        "random" => Box::new(RandomSchedule::seeded(args.seed)),
+        "round-robin" => Box::new(RoundRobin::new()),
+        "bursty" => Box::new(BurstySchedule::seeded(args.seed, 0.9)),
+        other => return Err(format!("unknown policy {other}")),
+    })
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let kind = match lock_kind(&args) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !(2..=64).contains(&args.b) {
+        eprintln!("error: --b must be in 2..=64 (got {})", args.b);
+        std::process::exit(2);
+    }
+    if args.aborters >= args.n {
+        eprintln!("error: --aborters must be < --n");
+        std::process::exit(2);
+    }
+    if args.aborters > 0 && !kind.abortable() {
+        eprintln!("error: {} is not abortable", kind.label());
+        std::process::exit(2);
+    }
+    let passages = if kind.one_shot() { 1 } else { args.passages };
+    let mut plans = vec![ProcPlan::normal(passages); args.n - args.aborters];
+    plans.extend(vec![
+        ProcPlan::aborter(passages, args.abort_after);
+        args.aborters
+    ]);
+    let attempts: usize = plans.iter().map(|p| p.passages).sum();
+    let built = build_lock(kind, args.n, attempts);
+    let spec = WorkloadSpec {
+        plans,
+        cs_ops: args.cs_ops,
+        max_steps: 200_000_000,
+    };
+    let pol = match policy(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = if kind.one_shot() {
+        run_one_shot(&*built.lock, &built.mem, built.cs_word, &spec, pol)
+    } else {
+        run_lock(&*built.lock, &built.mem, built.cs_word, &spec, pol)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut t = Table::new(
+        format!(
+            "{} | N={} aborters={} passages={passages} seed={} policy={}",
+            kind.label(),
+            args.n,
+            args.aborters,
+            args.seed,
+            args.policy
+        ),
+        &["metric", "value"],
+    );
+    t.row(vec!["steps".into(), report.steps.to_string()]);
+    t.row(vec![
+        "entered passages".into(),
+        report.total_entered().to_string(),
+    ]);
+    t.row(vec![
+        "aborted attempts".into(),
+        (attempts - report.total_entered()).to_string(),
+    ]);
+    t.row(vec![
+        "max RMRs (complete passage)".into(),
+        report.max_entered_rmrs().to_string(),
+    ]);
+    t.row(vec![
+        "mean RMRs (complete passage)".into(),
+        format!("{:.2}", report.mean_entered_rmrs()),
+    ]);
+    t.row(vec![
+        "max RMRs (aborted attempt)".into(),
+        report.max_aborted_rmrs().to_string(),
+    ]);
+    let entered_samples: Vec<u64> = report
+        .passages
+        .iter()
+        .filter(|p| p.entered)
+        .map(|p| p.rmrs)
+        .collect();
+    if let Some(summary) = sal_bench::report::RmrSummary::of(&entered_samples) {
+        t.row(vec!["RMR distribution (entered)".into(), summary.render()]);
+    }
+    t.row(vec![
+        "mutual exclusion".into(),
+        if report.mutex_check.is_ok() {
+            "held".into()
+        } else {
+            format!("{:?}", report.mutex_check)
+        },
+    ]);
+    t.row(vec![
+        "FCFS".into(),
+        match (&report.fcfs_check, kind.one_shot()) {
+            (Ok(()), true) => "held".into(),
+            (Err(v), true) => format!("{v:?}"),
+            _ => "n/a (not checked for long-lived locks)".into(),
+        },
+    ]);
+    t.row(vec!["shared words".into(), built.words.to_string()]);
+    t.print();
+}

@@ -1,0 +1,26 @@
+//! # sal-bench — experiment machinery regenerating the paper's tables & figures
+//!
+//! The paper's evaluation artifacts are **Table 1** (complexity / fairness
+//! comparison of abortable locks) and **Figures 1–5** (the algorithms and
+//! their cost behaviours). This crate measures all of them on the exact
+//! CC cost model via `sal-memory`/`sal-runtime`:
+//!
+//! * `cargo run -p sal-bench --bin table1 -- <worst-case|no-abort|adaptive|space|fairness|all>`
+//! * `cargo run -p sal-bench --bin figures -- <fig2|fig4|fig5|logw|all>`
+//! * `cargo bench -p sal-bench` — wall-clock sanity benches of the real
+//!   `AbortableMutex` against classic locks.
+//!
+//! The library half provides the lock registry (build any lock in the
+//! workspace by kind), the workload builders, and plain-text/JSON result
+//! rendering. `EXPERIMENTS.md` at the repo root records paper-vs-measured
+//! for every experiment id (E1–E10, W1) defined in `DESIGN.md`.
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod report;
+pub mod workloads;
+
+pub use registry::{build_lock, LockKind};
+pub use report::{RmrSummary, Table};
+pub use workloads::{adaptive_sweep, no_abort_sweep, space_row, worst_case_sweep, SweepPoint};

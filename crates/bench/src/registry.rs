@@ -1,0 +1,187 @@
+//! Build any lock in the workspace by kind, with its memory.
+
+use sal_baselines::{LeeLock, McsLock, ScottLock, TasLock, TicketLock, TournamentLock};
+use sal_core::long_lived::{BoundedLongLivedLock, SimpleLongLivedLock};
+use sal_core::one_shot::{DsmOneShotLock, OneShotLock};
+use sal_core::tree::Ascent;
+use sal_core::Lock;
+use sal_memory::{CcMemory, MemoryBuilder, WordId};
+
+/// Every lock the experiments can drive. `b` is the tree branching
+/// factor (the paper's `W`) where applicable.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LockKind {
+    /// The paper's one-shot lock (Figure 1) with the adaptive ascent.
+    OneShot {
+        /// Tree branching factor.
+        b: usize,
+    },
+    /// The one-shot lock with the non-adaptive ascent of Algorithm 4.1.
+    OneShotPlain {
+        /// Tree branching factor.
+        b: usize,
+    },
+    /// The DSM variant of the one-shot lock (§3).
+    OneShotDsm {
+        /// Tree branching factor.
+        b: usize,
+    },
+    /// Figure-5 transformation over never-reused pools.
+    LongLivedSimple {
+        /// Tree branching factor.
+        b: usize,
+    },
+    /// The final algorithm: §6.2 bounded-space long-lived lock.
+    LongLived {
+        /// Tree branching factor.
+        b: usize,
+    },
+    /// MCS queue lock (classic, not abortable).
+    Mcs,
+    /// Ticket lock (classic, not abortable).
+    Ticket,
+    /// Test-and-test-and-set (abortable, unbounded RMR).
+    Tas,
+    /// Abortable Peterson tournament — the `O(log N)` Jayanti-row shape.
+    Tournament,
+    /// Scott-style abortable CLH queue lock.
+    Scott,
+    /// Lee-style F&A+SWAP abortable array lock.
+    Lee,
+}
+
+impl LockKind {
+    /// Short label for tables.
+    pub fn label(self) -> String {
+        match self {
+            LockKind::OneShot { b } => format!("one-shot(B={b})"),
+            LockKind::OneShotPlain { b } => format!("one-shot-plain(B={b})"),
+            LockKind::OneShotDsm { b } => format!("one-shot-dsm(B={b})"),
+            LockKind::LongLivedSimple { b } => format!("long-lived-simple(B={b})"),
+            LockKind::LongLived { b } => format!("long-lived(B={b})"),
+            LockKind::Mcs => "mcs".into(),
+            LockKind::Ticket => "ticket".into(),
+            LockKind::Tas => "tas".into(),
+            LockKind::Tournament => "tournament".into(),
+            LockKind::Scott => "scott".into(),
+            LockKind::Lee => "lee".into(),
+        }
+    }
+
+    /// Whether the kind honours abort signals.
+    pub fn abortable(self) -> bool {
+        !matches!(self, LockKind::Mcs | LockKind::Ticket)
+    }
+
+    /// Whether each process may enter at most once.
+    pub fn one_shot(self) -> bool {
+        matches!(
+            self,
+            LockKind::OneShot { .. } | LockKind::OneShotPlain { .. } | LockKind::OneShotDsm { .. }
+        )
+    }
+
+    /// The abortable contenders of Table 1 (rows of the comparison), at
+    /// a given branching factor for our algorithms.
+    pub fn table1_rows(b: usize) -> Vec<LockKind> {
+        vec![
+            LockKind::Scott,
+            LockKind::Tournament,
+            LockKind::Lee,
+            LockKind::OneShot { b },
+            LockKind::LongLived { b },
+        ]
+    }
+}
+
+/// A built lock plus the memory and scratch word the harness needs.
+pub struct BuiltLock {
+    /// The lock, behind the uniform trait.
+    pub lock: Box<dyn Lock>,
+    /// CC memory holding the lock's words.
+    pub mem: CcMemory,
+    /// Scratch word the CS body hammers.
+    pub cs_word: WordId,
+    /// Shared words the lock's layout occupies (Table-1 space column).
+    pub words: usize,
+}
+
+impl std::fmt::Debug for BuiltLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuiltLock")
+            .field("words", &self.words)
+            .finish()
+    }
+}
+
+/// Build `kind` for `n` processes, budgeting for `attempts` total enter
+/// attempts (relevant for the arena-based baselines and the simple
+/// long-lived lock).
+pub fn build_lock(kind: LockKind, n: usize, attempts: usize) -> BuiltLock {
+    let mut b = MemoryBuilder::new();
+    let lock: Box<dyn Lock> = match kind {
+        LockKind::OneShot { b: w } => Box::new(OneShotLock::layout(&mut b, n, w)),
+        LockKind::OneShotPlain { b: w } => {
+            Box::new(OneShotLock::layout_with(&mut b, n, w, Ascent::Plain))
+        }
+        LockKind::OneShotDsm { b: w } => Box::new(DsmOneShotLock::layout(&mut b, n, w)),
+        LockKind::LongLivedSimple { b: w } => {
+            Box::new(SimpleLongLivedLock::layout(&mut b, n, w, attempts + 1))
+        }
+        LockKind::LongLived { b: w } => Box::new(BoundedLongLivedLock::layout(&mut b, n, w)),
+        LockKind::Mcs => Box::new(McsLock::layout(&mut b, n)),
+        LockKind::Ticket => Box::new(TicketLock::layout(&mut b)),
+        LockKind::Tas => Box::new(TasLock::layout(&mut b)),
+        LockKind::Tournament => Box::new(TournamentLock::layout(&mut b, n)),
+        LockKind::Scott => Box::new(ScottLock::layout(&mut b, n, attempts + 1)),
+        LockKind::Lee => Box::new(LeeLock::layout(&mut b, n, attempts + 1)),
+    };
+    let words = b.words_allocated();
+    let cs_word = b.alloc(0);
+    BuiltLock {
+        lock,
+        mem: b.build_cc(n),
+        cs_word,
+        words,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sal_memory::NeverAbort;
+
+    #[test]
+    fn every_kind_builds_and_takes_a_passage() {
+        let kinds = [
+            LockKind::OneShot { b: 4 },
+            LockKind::OneShotPlain { b: 4 },
+            LockKind::OneShotDsm { b: 4 },
+            LockKind::LongLivedSimple { b: 4 },
+            LockKind::LongLived { b: 4 },
+            LockKind::Mcs,
+            LockKind::Ticket,
+            LockKind::Tas,
+            LockKind::Tournament,
+            LockKind::Scott,
+            LockKind::Lee,
+        ];
+        for kind in kinds {
+            let built = build_lock(kind, 4, 16);
+            assert!(built.lock.enter(&built.mem, 0, &NeverAbort), "{kind:?}");
+            built.lock.exit(&built.mem, 0);
+            assert!(built.words > 0);
+            assert!(!kind.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn metadata_matches_kind() {
+        assert!(!LockKind::Mcs.abortable());
+        assert!(!LockKind::Ticket.abortable());
+        assert!(LockKind::Scott.abortable());
+        assert!(LockKind::OneShot { b: 2 }.one_shot());
+        assert!(!LockKind::LongLived { b: 2 }.one_shot());
+        assert_eq!(LockKind::table1_rows(8).len(), 5);
+    }
+}

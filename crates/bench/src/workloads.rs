@@ -1,0 +1,178 @@
+//! The workload builders behind every Table-1 column.
+
+use crate::registry::{build_lock, LockKind};
+use sal_runtime::{run_lock, run_one_shot, ProcPlan, RandomSchedule, SimError, WorkloadSpec};
+use serde::Serialize;
+
+/// One measured point of a sweep (a lock at one `(N, A)` configuration).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Lock label.
+    pub lock: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Number of processes playing the aborter role.
+    pub aborters: usize,
+    /// Maximum RMRs over entered (complete) passages.
+    pub max_entered_rmrs: u64,
+    /// Mean RMRs over entered passages.
+    pub mean_entered_rmrs: f64,
+    /// Maximum RMRs over aborted attempts.
+    pub max_aborted_rmrs: u64,
+    /// Total shared-memory steps of the run.
+    pub steps: u64,
+    /// Whether mutual exclusion held (it must).
+    pub mutex_ok: bool,
+    /// Whether FCFS held (checked only for one-shot runs).
+    pub fcfs_ok: Option<bool>,
+}
+
+fn run_point(
+    kind: LockKind,
+    n: usize,
+    plans: Vec<ProcPlan>,
+    seed: u64,
+) -> Result<SweepPoint, SimError> {
+    let attempts: usize = plans.iter().map(|p| p.passages).sum();
+    let built = build_lock(kind, n, attempts);
+    let spec = WorkloadSpec {
+        plans,
+        cs_ops: 2,
+        max_steps: 60_000_000,
+    };
+    let aborters = spec
+        .plans
+        .iter()
+        .filter(|p| !matches!(p.role, sal_runtime::Role::Normal))
+        .count();
+    let report = if kind.one_shot() {
+        run_one_shot(
+            &*built.lock,
+            &built.mem,
+            built.cs_word,
+            &spec,
+            Box::new(RandomSchedule::seeded(seed)),
+        )?
+    } else {
+        run_lock(
+            &*built.lock,
+            &built.mem,
+            built.cs_word,
+            &spec,
+            Box::new(RandomSchedule::seeded(seed)),
+        )?
+    };
+    Ok(SweepPoint {
+        lock: kind.label(),
+        n,
+        aborters,
+        max_entered_rmrs: report.max_entered_rmrs(),
+        mean_entered_rmrs: report.mean_entered_rmrs(),
+        max_aborted_rmrs: report.max_aborted_rmrs(),
+        steps: report.steps,
+        mutex_ok: report.mutex_check.is_ok(),
+        fcfs_ok: if kind.one_shot() {
+            Some(report.fcfs_check.is_ok())
+        } else {
+            None
+        },
+    })
+}
+
+/// Table 1, "Worst-case" column: one passage per process; all but two
+/// processes abort while queued, so the surviving handoffs must skip the
+/// whole abandoned crowd. The abort deadline scales with `n` so aborters
+/// have taken their queue positions before giving up.
+pub fn worst_case_sweep(kind: LockKind, n: usize, seed: u64) -> Result<SweepPoint, SimError> {
+    assert!(n >= 2);
+    let wait = 8 * n as u64;
+    let mut plans = vec![ProcPlan::normal(1)];
+    plans.extend(vec![ProcPlan::aborter(1, wait); n - 2]);
+    plans.push(ProcPlan::normal(1));
+    run_point(kind, n, plans, seed)
+}
+
+/// Table 1, "No aborts" column (and the paper's headline `O(1)` claim,
+/// E10): every process completes `passages` clean passages.
+pub fn no_abort_sweep(
+    kind: LockKind,
+    n: usize,
+    passages: usize,
+    seed: u64,
+) -> Result<SweepPoint, SimError> {
+    run_point(kind, n, vec![ProcPlan::normal(passages); n], seed)
+}
+
+/// Table 1, "Adaptive bound" column: fixed `n`, exactly `a` aborters.
+/// The completing passages' cost should track `a`, not `n`.
+pub fn adaptive_sweep(
+    kind: LockKind,
+    n: usize,
+    a: usize,
+    seed: u64,
+) -> Result<SweepPoint, SimError> {
+    assert!(a + 2 <= n, "need at least two normal processes");
+    let wait = 8 * n as u64;
+    let mut plans = vec![ProcPlan::normal(1)];
+    plans.extend(vec![ProcPlan::aborter(1, wait); a]);
+    plans.extend(vec![ProcPlan::normal(1); n - 1 - a]);
+    run_point(kind, n, plans, seed)
+}
+
+/// Table 1, "Space" column: shared words the layout allocates for `n`
+/// processes (and `attempts` total attempts, for the arena-based locks).
+pub fn space_row(kind: LockKind, n: usize, attempts: usize) -> usize {
+    build_lock(kind, n, attempts).words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_point_runs_and_is_safe() {
+        let p = worst_case_sweep(LockKind::OneShot { b: 4 }, 8, 1).unwrap();
+        assert!(p.mutex_ok);
+        assert_eq!(p.fcfs_ok, Some(true));
+        assert_eq!(p.n, 8);
+        assert_eq!(p.aborters, 6);
+        assert!(p.max_entered_rmrs > 0);
+    }
+
+    #[test]
+    fn no_abort_point_has_no_aborted_passages() {
+        let p = no_abort_sweep(LockKind::LongLived { b: 4 }, 4, 2, 3).unwrap();
+        assert!(p.mutex_ok);
+        assert_eq!(p.aborters, 0);
+        assert_eq!(p.max_aborted_rmrs, 0);
+    }
+
+    #[test]
+    fn adaptive_point_controls_aborter_count() {
+        let p = adaptive_sweep(LockKind::OneShot { b: 2 }, 8, 3, 7).unwrap();
+        assert_eq!(p.aborters, 3);
+        assert!(p.mutex_ok);
+    }
+
+    #[test]
+    fn space_rows_scale_as_documented() {
+        // One-shot: O(N). Long-lived bounded: O(N²).
+        let s64 = space_row(LockKind::OneShot { b: 8 }, 64, 64);
+        let s128 = space_row(LockKind::OneShot { b: 8 }, 128, 128);
+        assert!(s128 < s64 * 3, "one-shot space should be linear");
+        let l16 = space_row(LockKind::LongLived { b: 8 }, 16, 16);
+        let l32 = space_row(LockKind::LongLived { b: 8 }, 32, 32);
+        assert!(
+            l32 as f64 >= l16 as f64 * 2.5,
+            "bounded long-lived space should be quadratic: {l16} → {l32}"
+        );
+    }
+
+    #[test]
+    fn baselines_run_the_same_workloads() {
+        for kind in [LockKind::Scott, LockKind::Lee, LockKind::Tournament] {
+            let p = worst_case_sweep(kind, 6, 2).unwrap();
+            assert!(p.mutex_ok, "{kind:?}");
+        }
+    }
+}

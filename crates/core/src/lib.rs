@@ -1,0 +1,49 @@
+//! # sal-core — deterministic abortable mutual exclusion with sublogarithmic adaptive RMR complexity
+//!
+//! A complete implementation of the algorithms of Alon & Morrison,
+//! *Deterministic Abortable Mutual Exclusion with Sublogarithmic Adaptive
+//! RMR Complexity* (PODC 2018):
+//!
+//! * [`tree`] — the `W`-ary [`Tree`](tree::Tree) ordered-set structure
+//!   (Figure 3), including the adaptive sidestepping ascent of
+//!   Algorithm 4.3, which gives `FindNext` an RMR cost of
+//!   `O(log_W A)` where `A` is the number of aborters.
+//! * [`one_shot`] — the one-shot abortable queue lock of Figure 1, in its
+//!   cache-coherent form ([`one_shot::OneShotLock`]) and its DSM form with
+//!   local spin-bit indirection ([`one_shot::DsmOneShotLock`], §3).
+//! * [`long_lived`] — the one-shot → long-lived transformation of Figure 5,
+//!   as the literal pseudo-code over pre-allocated instance pools
+//!   ([`long_lived::SimpleLongLivedLock`]) and as the bounded-space version
+//!   of §6.2 with instance recycling, versioned lazy reset, and spin-node
+//!   reclamation ([`long_lived::BoundedLongLivedLock`]).
+//!
+//! All algorithms are written once, generically over the
+//! [`sal_memory::Mem`] primitive set (`read`/`write`/`CAS`/`F&A`), so they
+//! run identically under exact RMR accounting, under a deterministic
+//! scheduler, or over bare atomics.
+//!
+//! ## Quick example (one-shot lock under RMR accounting)
+//!
+//! ```
+//! use sal_core::one_shot::{EnterOutcome, OneShotLock};
+//! use sal_memory::{Mem, MemoryBuilder, NeverAbort};
+//!
+//! let mut b = MemoryBuilder::new();
+//! let lock = OneShotLock::layout(&mut b, 4, 4); // 4 processes, branching 4
+//! let mem = b.build_cc(4);
+//!
+//! // Process 0 acquires (ticket 0 spins on go[0], initially set).
+//! let outcome = lock.enter(&mem, 0, &NeverAbort);
+//! assert!(matches!(outcome, EnterOutcome::Entered { .. }));
+//! lock.exit(&mem, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lock;
+pub mod long_lived;
+pub mod one_shot;
+pub mod tree;
+
+pub use lock::Lock;

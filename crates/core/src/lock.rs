@@ -1,0 +1,65 @@
+//! A common object-safe interface over every lock in the workspace, so
+//! the runtime harness and the Table-1 benchmarks can drive the paper's
+//! locks and all baselines uniformly.
+
+use sal_memory::{AbortSignal, Mem, Pid};
+use std::fmt::Debug;
+
+/// An (abortable) mutual-exclusion lock driven through a [`Mem`].
+///
+/// `enter` returns `true` iff the process acquired the lock and entered
+/// the critical section, in which case it must eventually call `exit`.
+/// `enter` returns `false` iff the attempt was abandoned in response to
+/// `signal` (only possible when [`is_abortable`](Lock::is_abortable)).
+/// Note that, per the problem statement (§2), `enter` *may* return `true`
+/// even after the signal fires — a process can be handed the lock before
+/// noticing the signal.
+///
+/// Implementations keep any per-process local state internally, keyed by
+/// `p`; `p` must be in `0..mem.num_procs()` and each process must obey the
+/// usual protocol (no `exit` without a preceding successful `enter`).
+pub trait Lock: Send + Sync + Debug {
+    /// Short machine-readable name, e.g. `"one-shot(B=8)"`.
+    fn name(&self) -> String;
+
+    /// Whether `enter` honours the abort signal. Classic locks (MCS,
+    /// ticket, …) return `false` and ignore `signal`.
+    fn is_abortable(&self) -> bool {
+        true
+    }
+
+    /// Whether each process may acquire this lock at most once (the
+    /// paper's one-shot locks). The harness uses this to size workloads.
+    fn is_one_shot(&self) -> bool {
+        false
+    }
+
+    /// Attempt to acquire the lock as process `p`.
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal) -> bool;
+
+    /// Like [`enter`](Lock::enter), but additionally reports the FCFS
+    /// doorway ticket when the algorithm has one (the one-shot locks'
+    /// `F&A(Tail)` index). Locks without a doorway return `None`; the
+    /// harness uses the ticket to verify first-come-first-served order.
+    fn enter_ticketed(
+        &self,
+        mem: &dyn Mem,
+        p: Pid,
+        signal: &dyn AbortSignal,
+    ) -> (bool, Option<u64>) {
+        (self.enter(mem, p, signal), None)
+    }
+
+    /// Release the lock as process `p` (which must be in the CS).
+    fn exit(&self, mem: &dyn Mem, p: Pid);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_trait_is_object_safe() {
+        fn _takes(_l: &dyn Lock) {}
+    }
+}

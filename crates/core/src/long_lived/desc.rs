@@ -1,0 +1,274 @@
+//! Packing of the `LockDesc` tuple `(Lock, Spn, Refcnt)` into one word.
+//!
+//! §6 stores the whole descriptor in a single memory word so that F&A can
+//! increment the reference count while atomically snapshotting the lock
+//! and spin-node pointers, and CAS can switch all three fields at once.
+//! The reference count sits in the **low** bits so `F&A(LockDesc, ±1)`
+//! touches only it.
+//!
+//! Two layouts are provided:
+//!
+//! * [`SimpleDesc`] for the literal Figure-5 transformation over
+//!   bump-allocated (never reused) pools — indices are monotone, so the
+//!   CAS at line 76 cannot suffer ABA.
+//! * [`TaggedDesc`] for the bounded-space version of §6.2, where both
+//!   instance and spin-node indices *are* reused. A 20-bit switch
+//!   sequence number (incremented by every successful descriptor CAS)
+//!   tags each epoch, preventing descriptor ABA and letting a process
+//!   recognise whether the spin node it saved as `oldSpn` still belongs
+//!   to the epoch it was saved in.
+
+/// Figure-5 layout: `[lock:24 | spn:24 | refcnt:16]`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SimpleDesc {
+    /// Index of the current one-shot lock instance.
+    pub lock: u32,
+    /// Index of the spin node associated with this instance.
+    pub spn: u32,
+    /// Number of processes currently accessing the instance.
+    pub refcnt: u32,
+}
+
+impl SimpleDesc {
+    /// Maximum representable index for both `lock` and `spn`.
+    pub const MAX_INDEX: u32 = (1 << 24) - 1;
+    /// Maximum representable reference count.
+    pub const MAX_REFCNT: u32 = (1 << 16) - 1;
+
+    /// Pack into a word.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        debug_assert!(self.lock <= Self::MAX_INDEX);
+        debug_assert!(self.spn <= Self::MAX_INDEX);
+        debug_assert!(self.refcnt <= Self::MAX_REFCNT);
+        (u64::from(self.lock) << 40) | (u64::from(self.spn) << 16) | u64::from(self.refcnt)
+    }
+
+    /// Unpack from a word.
+    #[inline]
+    pub fn unpack(w: u64) -> Self {
+        SimpleDesc {
+            lock: (w >> 40) as u32 & Self::MAX_INDEX,
+            spn: (w >> 16) as u32 & Self::MAX_INDEX,
+            refcnt: w as u32 & u32::from(u16::MAX),
+        }
+    }
+}
+
+/// §6.2 layout: `[seq:20 | lock:12 | spn:20 | refcnt:12]`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TaggedDesc {
+    /// Switch sequence number (modulo 2²⁰), bumped on every successful
+    /// instance switch.
+    pub seq: u32,
+    /// Index of the current one-shot lock instance (`0..=N`).
+    pub lock: u32,
+    /// Index of the spin node associated with this epoch.
+    pub spn: u32,
+    /// Number of processes currently accessing the instance.
+    pub refcnt: u32,
+}
+
+impl TaggedDesc {
+    /// Sequence numbers live modulo this.
+    pub const SEQ_MOD: u32 = 1 << 20;
+    /// Maximum instance index (so `N + 1 ≤ 4096` instances).
+    pub const MAX_LOCK: u32 = (1 << 12) - 1;
+    /// Maximum spin-node index (so up to `2²⁰` nodes ≥ `N(N+1) + 1` for
+    /// `N ≤ 1022`).
+    pub const MAX_SPN: u32 = (1 << 20) - 1;
+    /// Maximum reference count (`N ≤ 4095`).
+    pub const MAX_REFCNT: u32 = (1 << 12) - 1;
+
+    /// Pack into a word.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        debug_assert!(self.seq < Self::SEQ_MOD);
+        debug_assert!(self.lock <= Self::MAX_LOCK);
+        debug_assert!(self.spn <= Self::MAX_SPN);
+        debug_assert!(self.refcnt <= Self::MAX_REFCNT);
+        (u64::from(self.seq) << 44)
+            | (u64::from(self.lock) << 32)
+            | (u64::from(self.spn) << 12)
+            | u64::from(self.refcnt)
+    }
+
+    /// Unpack from a word.
+    #[inline]
+    pub fn unpack(w: u64) -> Self {
+        TaggedDesc {
+            seq: (w >> 44) as u32 & (Self::SEQ_MOD - 1),
+            lock: (w >> 32) as u32 & Self::MAX_LOCK,
+            spn: (w >> 12) as u32 & Self::MAX_SPN,
+            refcnt: w as u32 & Self::MAX_REFCNT,
+        }
+    }
+
+    /// The epoch identity `(seq, spn)` a process saves as its `oldSpn`.
+    #[inline]
+    pub fn epoch(self) -> (u32, u32) {
+        (self.seq, self.spn)
+    }
+}
+
+/// Version-descriptor word `V_w = (version, incarnation bit)` of the
+/// lazy-reset scheme (§6.2): bit 0 is the incarnation currently in use,
+/// bits 1..64 are the instance version the word was last reset for.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct VersionDesc {
+    /// Version of the instance this word was last brought current for.
+    pub version: u64,
+    /// Incarnation (`w₀` or `w₁`) in use for that version. The *other*
+    /// incarnation always holds the word's initial value.
+    pub bit: u8,
+}
+
+impl VersionDesc {
+    /// Pack into a word.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        debug_assert!(self.bit <= 1);
+        debug_assert!(self.version < (1 << 63));
+        (self.version << 1) | u64::from(self.bit)
+    }
+
+    /// Unpack from a word.
+    #[inline]
+    pub fn unpack(w: u64) -> Self {
+        VersionDesc {
+            version: w >> 1,
+            bit: (w & 1) as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_desc_round_trips() {
+        for d in [
+            SimpleDesc {
+                lock: 0,
+                spn: 0,
+                refcnt: 0,
+            },
+            SimpleDesc {
+                lock: 1,
+                spn: 2,
+                refcnt: 3,
+            },
+            SimpleDesc {
+                lock: SimpleDesc::MAX_INDEX,
+                spn: SimpleDesc::MAX_INDEX,
+                refcnt: SimpleDesc::MAX_REFCNT,
+            },
+        ] {
+            assert_eq!(SimpleDesc::unpack(d.pack()), d);
+        }
+    }
+
+    #[test]
+    fn simple_refcnt_faa_only_touches_refcnt() {
+        let d = SimpleDesc {
+            lock: 7,
+            spn: 9,
+            refcnt: 5,
+        };
+        let w = d.pack() + 1;
+        assert_eq!(
+            SimpleDesc::unpack(w),
+            SimpleDesc {
+                lock: 7,
+                spn: 9,
+                refcnt: 6
+            }
+        );
+        let w = d.pack().wrapping_sub(1);
+        assert_eq!(
+            SimpleDesc::unpack(w),
+            SimpleDesc {
+                lock: 7,
+                spn: 9,
+                refcnt: 4
+            }
+        );
+    }
+
+    #[test]
+    fn tagged_desc_round_trips() {
+        for d in [
+            TaggedDesc {
+                seq: 0,
+                lock: 0,
+                spn: 0,
+                refcnt: 0,
+            },
+            TaggedDesc {
+                seq: 12345,
+                lock: 99,
+                spn: 54321,
+                refcnt: 77,
+            },
+            TaggedDesc {
+                seq: TaggedDesc::SEQ_MOD - 1,
+                lock: TaggedDesc::MAX_LOCK,
+                spn: TaggedDesc::MAX_SPN,
+                refcnt: TaggedDesc::MAX_REFCNT,
+            },
+        ] {
+            assert_eq!(TaggedDesc::unpack(d.pack()), d);
+        }
+    }
+
+    #[test]
+    fn tagged_refcnt_faa_only_touches_refcnt() {
+        let d = TaggedDesc {
+            seq: 3,
+            lock: 4,
+            spn: 5,
+            refcnt: 6,
+        };
+        assert_eq!(
+            TaggedDesc::unpack(d.pack() + 1),
+            TaggedDesc {
+                seq: 3,
+                lock: 4,
+                spn: 5,
+                refcnt: 7
+            }
+        );
+    }
+
+    #[test]
+    fn epochs_distinguish_recycled_spin_nodes() {
+        let a = TaggedDesc {
+            seq: 1,
+            lock: 0,
+            spn: 5,
+            refcnt: 0,
+        };
+        let b = TaggedDesc {
+            seq: 8,
+            lock: 0,
+            spn: 5,
+            refcnt: 0,
+        };
+        assert_ne!(a.epoch(), b.epoch());
+    }
+
+    #[test]
+    fn version_desc_round_trips() {
+        for d in [
+            VersionDesc { version: 0, bit: 0 },
+            VersionDesc { version: 1, bit: 1 },
+            VersionDesc {
+                version: (1 << 62),
+                bit: 0,
+            },
+        ] {
+            assert_eq!(VersionDesc::unpack(d.pack()), d);
+        }
+    }
+}

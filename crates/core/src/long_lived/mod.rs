@@ -1,0 +1,35 @@
+//! The one-shot → long-lived transformation of §6 (Figure 5) and the
+//! bounded-space memory-management schemes of §6.2.
+//!
+//! The transformation wraps a one-shot lock instance behind a single-word
+//! descriptor `LockDesc = (Lock, Spn, Refcnt)`:
+//!
+//! * acquiring processes F&A the refcount, atomically snapshotting which
+//!   instance to use;
+//! * the process that drops the refcount to zero CASes in a fresh
+//!   instance, so no process ever `Enter`s the same instance twice;
+//! * a per-process `oldSpn` plus a one-bit *spin node* per instance lets
+//!   a returning process wait out an epoch it already used in `O(1)`
+//!   RMRs (without it, watching `LockDesc` itself could cost `N − 1`
+//!   RMRs, since the refcount changes up to `N` times per switch).
+//!
+//! Preserves starvation freedom but not FCFS (Theorem 23). Two
+//! implementations:
+//!
+//! * [`SimpleLongLivedLock`] — Figure 5 verbatim over never-reused pools
+//!   (the paper's "unbounded memory, free allocation" simplification);
+//! * [`BoundedLongLivedLock`] — §6.2: `N + 1` recycled instances with
+//!   versioned lazy reset ([`VersionedInstance`]) and reclaimed spin
+//!   nodes ([`SpinNodePool`]), for `O(N²)` total space (Claim 28).
+
+mod bounded;
+mod desc;
+mod simple;
+mod spin_pool;
+mod versioned;
+
+pub use bounded::{BoundedLongLivedLock, PathStats};
+pub use desc::{SimpleDesc, TaggedDesc, VersionDesc};
+pub use simple::SimpleLongLivedLock;
+pub use spin_pool::SpinNodePool;
+pub use versioned::{VersionedInstance, VersionedMem};

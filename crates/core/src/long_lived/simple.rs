@@ -1,0 +1,271 @@
+//! The literal Figure-5 transformation over bump-allocated pools.
+//!
+//! §6 first presents the transformation "for simplicity … in a system
+//! with unbounded word and memory size, in which allocating a new (and
+//! initialized) instance of the one-shot lock L is free of charge". This
+//! module is that algorithm, verbatim: instances and spin nodes come from
+//! pre-allocated pools and are **never reused**, so the pool capacity
+//! bounds the number of instance switches. Use
+//! [`BoundedLongLivedLock`](super::BoundedLongLivedLock) for the
+//! bounded-space version of §6.2.
+
+use super::desc::SimpleDesc;
+use crate::lock::Lock;
+use crate::one_shot::OneShotLock;
+use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
+use std::sync::Mutex;
+
+/// Per-process local variable of Figure 5 (`oldSpn`).
+#[derive(Debug, Default)]
+struct Local {
+    /// The spin-node index saved at the last Cleanup; `None` is the
+    /// paper's `⊥`.
+    old_spn: Option<u32>,
+}
+
+/// Long-lived abortable lock: Figure 5 applied to the one-shot lock of
+/// Figure 1, with free (bump) allocation.
+///
+/// The pool holds `switches + 1` one-shot instances; acquiring more than
+/// `switches` *quiescent periods* (moments where the reference count hits
+/// zero and the instance is switched) exhausts it. Space is
+/// `O(switches · N)` — the price of the simplified allocation story.
+///
+/// Starvation-free but not FCFS (Theorem 23).
+#[derive(Debug)]
+pub struct SimpleLongLivedLock {
+    desc: WordId,
+    next_lock: WordId,
+    next_spn: WordId,
+    instances: Vec<OneShotLock>,
+    spin_nodes: WordArray,
+    locals: Vec<Mutex<Local>>,
+    n: usize,
+}
+
+impl SimpleLongLivedLock {
+    /// Lay out the lock for `n` processes, supporting up to `switches`
+    /// instance switches, with one-shot tree branching `branching`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if `n` or `switches` exceed the descriptor
+    /// field capacities ([`SimpleDesc`]).
+    pub fn layout(b: &mut MemoryBuilder, n: usize, branching: usize, switches: usize) -> Self {
+        assert!(n >= 1, "lock needs at least one process");
+        assert!(n < SimpleDesc::MAX_REFCNT as usize, "too many processes");
+        let pool = switches + 1;
+        assert!(
+            pool <= SimpleDesc::MAX_INDEX as usize,
+            "switch capacity exceeds descriptor field"
+        );
+        let desc = b.alloc(
+            SimpleDesc {
+                lock: 0,
+                spn: 0,
+                refcnt: 0,
+            }
+            .pack(),
+        );
+        let next_lock = b.alloc(1);
+        let next_spn = b.alloc(1);
+        let instances = (0..pool)
+            .map(|_| OneShotLock::layout(b, n, branching))
+            .collect();
+        let spin_nodes = b.alloc_array(pool, 0);
+        SimpleLongLivedLock {
+            desc,
+            next_lock,
+            next_spn,
+            instances,
+            spin_nodes,
+            locals: (0..n).map(|_| Mutex::new(Local::default())).collect(),
+            n,
+        }
+    }
+
+    /// Number of processes the lock supports.
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// `Enter()` (Algorithm 6.1). Returns `true` iff the lock was
+    /// acquired; `false` iff the attempt aborted in response to `signal`.
+    pub fn enter<M, S>(&self, mem: &M, pid: Pid, signal: &S) -> bool
+    where
+        M: Mem + ?Sized,
+        S: AbortSignal + ?Sized,
+    {
+        let old_spn = self.locals[pid].lock().unwrap().old_spn;
+        let d = SimpleDesc::unpack(mem.read(pid, self.desc)); // line 57
+        if Some(d.spn) == old_spn {
+            // lines 58–61: we already used this instance; wait for the
+            // switch.
+            while mem.read(pid, self.spin_nodes.at(d.spn as usize)) == 0 {
+                if signal.is_set() {
+                    return false;
+                }
+            }
+        }
+        // line 62: snapshot Lock & Spn while incrementing Refcnt.
+        let d = SimpleDesc::unpack(mem.faa(pid, self.desc, 1));
+        let completed = self.instances[d.lock as usize]
+            .enter(mem, pid, signal)
+            .entered(); // line 63
+        if !completed {
+            self.cleanup(mem, pid); // lines 64–65
+        }
+        completed // line 66
+    }
+
+    /// `Exit()` (Algorithm 6.2).
+    pub fn exit<M: Mem + ?Sized>(&self, mem: &M, pid: Pid) {
+        let d = SimpleDesc::unpack(mem.read(pid, self.desc)); // line 67
+        self.instances[d.lock as usize].exit(mem, pid); // line 68
+        self.cleanup(mem, pid); // line 69
+    }
+
+    /// `Cleanup()` (Algorithm 6.3).
+    fn cleanup<M: Mem + ?Sized>(&self, mem: &M, pid: Pid) {
+        // line 70: decrement Refcnt, snapshotting the tuple.
+        let d = SimpleDesc::unpack(mem.faa(pid, self.desc, 1u64.wrapping_neg()));
+        self.locals[pid].lock().unwrap().old_spn = Some(d.spn);
+        if d.refcnt == 1 {
+            // lines 71–75: we might be the last user — prepare fresh
+            // instances and try to switch.
+            let new_lock = mem.faa(pid, self.next_lock, 1) as u32;
+            let new_spn = mem.faa(pid, self.next_spn, 1) as u32;
+            assert!(
+                (new_lock as usize) < self.instances.len(),
+                "simple long-lived lock exhausted its {} pre-allocated instances",
+                self.instances.len()
+            );
+            let old = SimpleDesc {
+                lock: d.lock,
+                spn: d.spn,
+                refcnt: 0,
+            };
+            let new = SimpleDesc {
+                lock: new_lock,
+                spn: new_spn,
+                refcnt: 0,
+            };
+            // line 76–77
+            if mem.cas(pid, self.desc, old.pack(), new.pack()) {
+                mem.write(pid, self.spin_nodes.at(d.spn as usize), 1);
+            }
+        }
+    }
+}
+
+impl Lock for SimpleLongLivedLock {
+    fn name(&self) -> String {
+        format!(
+            "long-lived-simple(B={})",
+            self.instances[0].tree().branching()
+        )
+    }
+
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal) -> bool {
+        SimpleLongLivedLock::enter(self, mem, p, signal)
+    }
+
+    fn exit(&self, mem: &dyn Mem, p: Pid) {
+        SimpleLongLivedLock::exit(self, mem, p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sal_memory::{AbortFlag, NeverAbort};
+
+    fn build(n: usize, switches: usize) -> (SimpleLongLivedLock, sal_memory::CcMemory) {
+        let mut b = MemoryBuilder::new();
+        let lock = SimpleLongLivedLock::layout(&mut b, n, 4, switches);
+        (lock, b.build_cc(n))
+    }
+
+    #[test]
+    fn repeated_acquisitions_by_one_process() {
+        let (lock, mem) = build(2, 16);
+        for _ in 0..10 {
+            assert!(lock.enter(&mem, 0, &NeverAbort));
+            lock.exit(&mem, 0);
+        }
+    }
+
+    #[test]
+    fn processes_alternate_across_instance_switches() {
+        let (lock, mem) = build(3, 32);
+        for round in 0..8 {
+            for pid in 0..3 {
+                assert!(
+                    lock.enter(&mem, pid, &NeverAbort),
+                    "round {round} pid {pid}"
+                );
+                lock.exit(&mem, pid);
+            }
+        }
+    }
+
+    #[test]
+    fn abort_before_doorway_returns_false_quickly() {
+        let (lock, mem) = build(2, 8);
+        // p0 acquires and releases, making p0's oldSpn equal the (still
+        // current, since nobody else was active... actually refcnt hit 0
+        // so p0 switched). Second acquisition proceeds on the new
+        // instance.
+        assert!(lock.enter(&mem, 0, &NeverAbort));
+        lock.exit(&mem, 0);
+        assert!(lock.enter(&mem, 0, &NeverAbort));
+        lock.exit(&mem, 0);
+        // Aborting inside the one-shot enter: pre-set signal while the
+        // lock is held by p0.
+        assert!(lock.enter(&mem, 0, &NeverAbort));
+        let sig = AbortFlag::new();
+        sig.set();
+        assert!(!lock.enter(&mem, 1, &sig));
+        lock.exit(&mem, 0);
+        // Lock remains usable.
+        assert!(lock.enter(&mem, 1, &NeverAbort));
+        lock.exit(&mem, 1);
+    }
+
+    #[test]
+    fn solo_process_switches_instance_every_passage() {
+        // With a single process, every exit drops refcnt to 0 and
+        // switches; the pool bounds the number of passages.
+        let (lock, mem) = build(1, 5);
+        for _ in 0..5 {
+            assert!(lock.enter(&mem, 0, &NeverAbort));
+            lock.exit(&mem, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn pool_exhaustion_panics_with_context() {
+        let (lock, mem) = build(1, 2);
+        for _ in 0..10 {
+            assert!(lock.enter(&mem, 0, &NeverAbort));
+            lock.exit(&mem, 0);
+        }
+    }
+
+    #[test]
+    fn per_passage_rmr_cost_stays_constant_without_aborts() {
+        let (lock, mem) = build(2, 64);
+        let mut max = 0;
+        for _ in 0..20 {
+            let probe = sal_memory::RmrProbe::start(&mem, 0);
+            assert!(lock.enter(&mem, 0, &NeverAbort));
+            lock.exit(&mem, 0);
+            max = max.max(probe.rmrs(&mem));
+        }
+        // Figure-5 overhead is a constant number of RMRs on top of the
+        // one-shot passage (desc reads/F&As, allocation F&As, CAS, spin
+        // node write).
+        assert!(max <= 20, "long-lived no-abort passage too costly: {max}");
+    }
+}

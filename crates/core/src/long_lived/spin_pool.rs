@@ -1,0 +1,324 @@
+//! Spin-node pools with safe, RMR-cheap reclamation (§6.2).
+//!
+//! A spin node may be busy-waited on by a process even after `LockDesc`
+//! stopped pointing to it, so nodes can only be recycled once no process
+//! spins on them. The paper uses the scheme of Aghazadeh, Golab & Woelfel
+//! (PODC'13), whose full pseudo-code is not reproduced in the paper; we
+//! implement a scheme in its spirit with the same structure — per-process
+//! pools of `N + 1` nodes and an announce array — and the following cost
+//! profile: `O(1)` *amortized* RMRs per retire/allocate via incremental
+//! scanning, with an `O(N)` worst-case fallback scan when the free list
+//! is empty (the paper's scheme is `O(1)` worst-case). Safety is
+//! identical: a node is reclaimed only after a full announce-array scan,
+//! performed entirely after the node's retirement, observed no process
+//! announcing it.
+//!
+//! Protocol (hazard-pointer-style):
+//!
+//! * A process that wants to spin on node `s` first *announces* it
+//!   (`announce[p] = s + 1`), then re-validates that `LockDesc` still
+//!   carries `s`'s epoch; only then does it spin. Because a node is
+//!   retired only after the descriptor switched away from it, a
+//!   validated announcement is always visible to every scan that could
+//!   reclaim the node.
+//! * The retirer enqueues the node; scans (incremental on every
+//!   [`SpinNodePool::retire`]/[`SpinNodePool::allocate`], full on demand)
+//!   walk the announce array and move un-announced nodes to the free
+//!   list, resetting their `go` word.
+
+use sal_memory::{Mem, MemoryBuilder, Pid, WordArray};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// How many announce slots each incremental scan step inspects.
+const SCAN_STRIDE: usize = 4;
+
+/// Per-process local bookkeeping (process-private: costs no RMRs).
+#[derive(Debug, Default)]
+struct PoolLocal {
+    /// Verified-free node indices owned by this process.
+    free: Vec<u32>,
+    /// Retired nodes awaiting a clean scan.
+    retired: VecDeque<u32>,
+    /// Incremental scan state: the node being verified and the next
+    /// announce slot to inspect.
+    scan: Option<(u32, usize)>,
+}
+
+/// Pools of one-word spin nodes for `n` processes, `n + 1` nodes each,
+/// plus the genesis node (index 0) installed in the initial `LockDesc`.
+#[derive(Debug)]
+pub struct SpinNodePool {
+    /// `go` word of every node; index = node id.
+    nodes: WordArray,
+    /// `announce[p] = s + 1` ⇔ process `p` may be spinning on node `s`.
+    announce: WordArray,
+    locals: Vec<Mutex<PoolLocal>>,
+    n: usize,
+}
+
+impl SpinNodePool {
+    /// Lay out pools for `n` processes: `n(n+1) + 1` node words and `n`
+    /// announce words — the `O(N²)` component of the final space bound.
+    pub fn layout(b: &mut MemoryBuilder, n: usize) -> Self {
+        let nodes = b.alloc_array(n * (n + 1) + 1, 0);
+        let announce = b.alloc_array(n, 0);
+        let locals = (0..n)
+            .map(|p| {
+                let base = 1 + p as u32 * (n as u32 + 1);
+                Mutex::new(PoolLocal {
+                    free: (base..base + n as u32 + 1).collect(),
+                    retired: VecDeque::new(),
+                    scan: None,
+                })
+            })
+            .collect();
+        SpinNodePool {
+            nodes,
+            announce,
+            locals,
+            n,
+        }
+    }
+
+    /// Total number of spin nodes managed.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The `go` word of node `s`.
+    pub fn go_word(&self, s: u32) -> sal_memory::WordId {
+        self.nodes.at(s as usize)
+    }
+
+    /// Announce that process `p` is about to spin on node `s`. The caller
+    /// **must** re-validate its reason for spinning (re-read `LockDesc`)
+    /// after this call and before actually spinning, and must call
+    /// [`clear_announce`](Self::clear_announce) when done.
+    pub fn announce<M: Mem + ?Sized>(&self, mem: &M, p: Pid, s: u32) {
+        mem.write(p, self.announce.at(p), u64::from(s) + 1);
+    }
+
+    /// Withdraw process `p`'s announcement.
+    pub fn clear_announce<M: Mem + ?Sized>(&self, mem: &M, p: Pid) {
+        mem.write(p, self.announce.at(p), 0);
+    }
+
+    /// Retire node `s`: it will be reclaimed into process `p`'s pool once
+    /// a clean scan proves no process spins on it. Performs `O(1)` scan
+    /// work.
+    pub fn retire<M: Mem + ?Sized>(&self, mem: &M, p: Pid, s: u32) {
+        let mut local = self.locals[p].lock().unwrap();
+        local.retired.push_back(s);
+        self.advance_scan(mem, p, &mut local);
+    }
+
+    /// Return an *unused* node (allocated but never installed, e.g.
+    /// because the descriptor CAS failed) straight to the free list.
+    pub fn unallocate(&self, p: Pid, s: u32) {
+        self.locals[p].lock().unwrap().free.push(s);
+    }
+
+    /// Allocate a node from process `p`'s pool, with its `go` word reset
+    /// to 0. Performs `O(1)` amortized scan work; falls back to a full
+    /// `O(N)` scan of the retired queue when the free list is empty —
+    /// guaranteed to succeed because at most `N` of the `N + 1` owned
+    /// nodes can be announced at any time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool invariant is violated (more nodes pinned than
+    /// processes exist) — indicates protocol misuse.
+    pub fn allocate<M: Mem + ?Sized>(&self, mem: &M, p: Pid) -> u32 {
+        let mut local = self.locals[p].lock().unwrap();
+        self.advance_scan(mem, p, &mut local);
+        if let Some(s) = local.free.pop() {
+            return s;
+        }
+        // Fallback: full scans over the retired queue.
+        let candidates = local.retired.len();
+        for _ in 0..candidates {
+            let s = local.retired.pop_front().expect("non-empty");
+            // Abandon any in-flight incremental scan of s (it is covered
+            // by this full scan) or of another node (it stays queued).
+            if let Some((scanning, _)) = local.scan {
+                if scanning == s {
+                    local.scan = None;
+                }
+            }
+            if self.full_scan_clean(mem, p, s) {
+                mem.write(p, self.nodes.at(s as usize), 0); // reset go
+                return s;
+            }
+            local.retired.push_back(s);
+        }
+        panic!(
+            "spin-node pool of process {p} exhausted: {candidates} retired nodes all pinned \
+             — protocol violation (a process must announce at most one node)"
+        );
+    }
+
+    /// One increment of background scanning: verify up to [`SCAN_STRIDE`]
+    /// announce slots of the node at the head of the retired queue.
+    fn advance_scan<M: Mem + ?Sized>(&self, mem: &M, p: Pid, local: &mut PoolLocal) {
+        let (s, mut next) = match local.scan.take() {
+            Some(state) => state,
+            None => match local.retired.pop_front() {
+                Some(s) => (s, 0),
+                None => return,
+            },
+        };
+        for _ in 0..SCAN_STRIDE {
+            if next >= self.n {
+                // Clean scan completed: reclaim.
+                mem.write(p, self.nodes.at(s as usize), 0);
+                local.free.push(s);
+                return;
+            }
+            if mem.read(p, self.announce.at(next)) == u64::from(s) + 1 {
+                // Pinned: requeue and restart the scan later from slot 0
+                // (announcements can move between slots over time only by
+                // being dropped and re-made, so a later full pass is
+                // still sound).
+                local.retired.push_back(s);
+                return;
+            }
+            next += 1;
+        }
+        if next >= self.n {
+            mem.write(p, self.nodes.at(s as usize), 0);
+            local.free.push(s);
+        } else {
+            local.scan = Some((s, next));
+        }
+    }
+
+    /// Scan every announce slot for node `s`; `true` if nobody announces
+    /// it.
+    fn full_scan_clean<M: Mem + ?Sized>(&self, mem: &M, p: Pid, s: u32) -> bool {
+        (0..self.n).all(|q| mem.read(p, self.announce.at(q)) != u64::from(s) + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sal_memory::Mem;
+
+    fn pool(n: usize) -> (SpinNodePool, sal_memory::CcMemory) {
+        let mut b = MemoryBuilder::new();
+        let pool = SpinNodePool::layout(&mut b, n);
+        (pool, b.build_cc(n))
+    }
+
+    #[test]
+    fn pool_sizes_are_quadratic() {
+        let (pool, _) = pool(8);
+        assert_eq!(pool.num_nodes(), 8 * 9 + 1);
+    }
+
+    #[test]
+    fn allocate_retire_cycle_recycles_nodes() {
+        let (pool, mem) = pool(2);
+        let mut seen = std::collections::HashSet::new();
+        // Each process owns 3 nodes; cycling allocate→retire many times
+        // must keep succeeding (reclamation works) and stay within the
+        // owned id range.
+        for _ in 0..20 {
+            let s = pool.allocate(&mem, 0);
+            seen.insert(s);
+            assert!((1..=3).contains(&s), "node {s} outside p0's pool");
+            // Simulate an install/switch: go gets set, node retired.
+            mem.write(0, pool.go_word(s), 1);
+            pool.retire(&mem, 0, s);
+        }
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn allocated_nodes_have_reset_go() {
+        let (pool, mem) = pool(1);
+        for _ in 0..6 {
+            let s = pool.allocate(&mem, 0);
+            assert_eq!(mem.read(0, pool.go_word(s)), 0);
+            mem.write(0, pool.go_word(s), 1);
+            pool.retire(&mem, 0, s);
+        }
+    }
+
+    #[test]
+    fn announced_nodes_are_not_reclaimed() {
+        let (pool, mem) = pool(2);
+        let s = pool.allocate(&mem, 0);
+        mem.write(0, pool.go_word(s), 1);
+        // Process 1 announces s (as if about to spin on it).
+        pool.announce(&mem, 1, s);
+        pool.retire(&mem, 0, s);
+        // Drain p0's free list; s must never be handed back while pinned.
+        let mut handed = Vec::new();
+        for _ in 0..2 {
+            // p0 started with 3 nodes, one (s) is retired+pinned.
+            let t = pool.allocate(&mem, 0);
+            assert_ne!(t, s, "pinned node was reclaimed");
+            handed.push(t);
+        }
+        // Un-pin and verify s becomes allocatable again.
+        pool.clear_announce(&mem, 1);
+        let t = pool.allocate(&mem, 0);
+        assert_eq!(t, s);
+        assert_eq!(mem.read(0, pool.go_word(t)), 0, "go reset on reclaim");
+        let _ = handed;
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn all_pinned_pool_panics_cleanly() {
+        // 1 process, 2 nodes. Pin both (protocol violation: one process
+        // announcing two nodes is impossible in the real protocol, we
+        // fake it by never clearing) and exhaust.
+        let (pool, mem) = pool(1);
+        let a = pool.allocate(&mem, 0);
+        let b = pool.allocate(&mem, 0);
+        pool.announce(&mem, 0, a);
+        pool.retire(&mem, 0, a);
+        // Announce can only hold one value; move it to b after retiring a
+        // — but allocate scans fresh, so pin b via the single slot and
+        // retire it too, then re-pin a... With one slot we can only pin
+        // one node, so instead never retire b at all: free list empty,
+        // retired = [a] pinned → exhausted.
+        let _ = b;
+        let _ = pool.allocate(&mem, 0);
+    }
+
+    #[test]
+    fn incremental_scan_reclaims_without_full_fallback() {
+        let (pool, mem) = pool(4);
+        // Retire a node, then let unrelated retire/allocate calls advance
+        // the scan until it is reclaimed into the free list.
+        let s = pool.allocate(&mem, 0);
+        mem.write(0, pool.go_word(s), 1);
+        pool.retire(&mem, 0, s);
+        // Each advance covers SCAN_STRIDE = 4 announce slots, so for
+        // n = 4 the retire above already completed a clean pass and s is
+        // back on the free list with go reset — no fallback scans needed.
+        let mut got = false;
+        for _ in 0..10 {
+            let u = pool.allocate(&mem, 0);
+            if u == s {
+                got = true;
+                break;
+            }
+            pool.unallocate(0, u);
+        }
+        assert!(got, "retired node was never reclaimed");
+        assert_eq!(mem.read(0, pool.go_word(s)), 0, "go reset on reclaim");
+    }
+
+    #[test]
+    fn unallocate_returns_node_without_scan() {
+        let (pool, mem) = pool(1);
+        let s = pool.allocate(&mem, 0);
+        pool.unallocate(0, s);
+        assert_eq!(pool.allocate(&mem, 0), s);
+    }
+}

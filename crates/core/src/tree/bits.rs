@@ -1,0 +1,158 @@
+//! Bit-scanning helpers of Figure 3.
+//!
+//! A tree node stores `B` bits in one word; the *`o`-th most significant
+//! bit* (offset `o`, counting from the left starting at 0) is associated
+//! with the node's `o`-th child from the left. We map offset `o` to
+//! machine bit position `B − 1 − o` inside the low `B` bits of the word,
+//! so "left" (small offsets) means high bit positions and "right of
+//! offset" means lower bit positions.
+//!
+//! The paper's helpers (caption of Figure 3):
+//! * `HasZeroToTheRight(snap, offset)` — is there a zero bit strictly to
+//!   the right of `offset`?
+//! * `GetFirstZeroToTheRight(snap, offset)` — offset of the leftmost such
+//!   zero bit.
+//! * `GetFirstZero(snap)` — offset of the leftmost zero bit.
+//! * `EMPTY` — the all-ones word.
+//!
+//! `offset` may be `-1` (the sidestep case of Algorithm 4.3, line 47), in
+//! which case "to the right of `offset`" means *all* `B` bits.
+
+/// The all-ones word for branching factor `b`: every child abandoned.
+#[inline]
+pub fn empty_word(b: usize) -> u64 {
+    debug_assert!((2..=64).contains(&b));
+    if b == 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// Machine bit mask for child offset `o` (the `o`-th MSB of the `b` bits).
+#[inline]
+pub fn offset_mask(b: usize, o: usize) -> u64 {
+    debug_assert!(o < b);
+    1u64 << (b - 1 - o)
+}
+
+/// Mask covering all bits strictly to the right of `offset`
+/// (`offset == -1` covers the whole word).
+#[inline]
+fn right_of(b: usize, offset: isize) -> u64 {
+    debug_assert!(offset >= -1 && (offset as i64) < b as i64);
+    if offset < 0 {
+        empty_word(b)
+    } else {
+        offset_mask(b, offset as usize).wrapping_sub(1)
+    }
+}
+
+/// `HasZeroToTheRight(snap, offset)`: true iff some bit strictly to the
+/// right of `offset` is zero.
+#[inline]
+pub fn has_zero_to_the_right(b: usize, snap: u64, offset: isize) -> bool {
+    let m = right_of(b, offset);
+    snap & m != m
+}
+
+/// `GetFirstZeroToTheRight(snap, offset)`: offset of the first (leftmost)
+/// zero bit strictly to the right of `offset`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if no such zero exists; callers must check
+/// [`has_zero_to_the_right`] first, as the pseudo-code does.
+#[inline]
+pub fn get_first_zero_to_the_right(b: usize, snap: u64, offset: isize) -> usize {
+    let zeros = !snap & right_of(b, offset);
+    debug_assert!(zeros != 0, "no zero to the right of {offset}");
+    // Leftmost zero = most significant set bit of `zeros`.
+    let pos = 63 - zeros.leading_zeros() as usize;
+    b - 1 - pos
+}
+
+/// `GetFirstZero(snap)`: offset of the leftmost zero bit in the word.
+#[inline]
+pub fn get_first_zero(b: usize, snap: u64) -> usize {
+    get_first_zero_to_the_right(b, snap, -1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_word_is_all_ones_over_b_bits() {
+        assert_eq!(empty_word(2), 0b11);
+        assert_eq!(empty_word(4), 0b1111);
+        assert_eq!(empty_word(64), u64::MAX);
+    }
+
+    #[test]
+    fn offset_zero_is_the_most_significant_bit() {
+        assert_eq!(offset_mask(4, 0), 0b1000);
+        assert_eq!(offset_mask(4, 3), 0b0001);
+        assert_eq!(offset_mask(64, 0), 1u64 << 63);
+    }
+
+    #[test]
+    fn zero_to_the_right_detection() {
+        // B = 4, word 1011: offsets 0,2,3 set; offset 1 clear.
+        let snap = 0b1011;
+        assert!(has_zero_to_the_right(4, snap, 0)); // offset 1 is to the right of 0
+        assert!(!has_zero_to_the_right(4, snap, 1)); // offsets 2,3 are both set
+        assert!(!has_zero_to_the_right(4, snap, 3)); // nothing right of the last bit
+        assert!(has_zero_to_the_right(4, snap, -1)); // whole word has a zero
+    }
+
+    #[test]
+    fn no_zero_in_empty_word() {
+        for b in [2, 3, 8, 64] {
+            assert!(!has_zero_to_the_right(b, empty_word(b), -1));
+        }
+    }
+
+    #[test]
+    fn first_zero_to_the_right_is_leftmost_zero_after_offset() {
+        // B = 8, bits (offsets 0..8): 1 1 0 1 0 1 1 0
+        let snap = 0b1101_0110;
+        assert_eq!(get_first_zero_to_the_right(8, snap, -1), 2);
+        assert_eq!(get_first_zero_to_the_right(8, snap, 0), 2);
+        assert_eq!(get_first_zero_to_the_right(8, snap, 2), 4);
+        assert_eq!(get_first_zero_to_the_right(8, snap, 4), 7);
+        assert_eq!(get_first_zero(8, snap), 2);
+    }
+
+    #[test]
+    fn full_width_word_scans() {
+        // B = 64: only offset 63 (least significant) clear.
+        let snap = u64::MAX << 1;
+        assert!(has_zero_to_the_right(64, snap, 0));
+        assert_eq!(get_first_zero_to_the_right(64, snap, 0), 63);
+        // Only offset 0 (MSB) clear.
+        let snap = u64::MAX >> 1;
+        assert_eq!(get_first_zero(64, snap), 0);
+        assert!(!has_zero_to_the_right(64, snap, 0));
+    }
+
+    #[test]
+    fn exhaustive_against_naive_reference_small_b() {
+        for b in 2..=8usize {
+            for snap in 0..(1u64 << b) {
+                for offset in -1..(b as isize) {
+                    let naive: Option<usize> =
+                        ((offset + 1) as usize..b).find(|&o| snap & offset_mask(b, o) == 0);
+                    assert_eq!(
+                        has_zero_to_the_right(b, snap, offset),
+                        naive.is_some(),
+                        "b={b} snap={snap:b} offset={offset}"
+                    );
+                    if let Some(o) = naive {
+                        assert_eq!(get_first_zero_to_the_right(b, snap, offset), o);
+                    }
+                }
+            }
+        }
+    }
+}

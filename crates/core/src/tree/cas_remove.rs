@@ -1,0 +1,136 @@
+//! A CAS-only variant of `Remove` — the §7 counterfactual.
+//!
+//! The paper's related-work section argues that F&A is what makes the
+//! `W`-ary tree cheap: one F&A both *sets* a process's bit and *reads*
+//! every sibling bit in a single RMR, whereas "the LL/SC-based f-array
+//! requires O(#children) RMRs" — and more generally, read+CAS emulation
+//! of the same update pays a retry loop under contention.
+//!
+//! [`Tree::remove_with_cas`] is Algorithm 4.2 with the F&A replaced by a
+//! read/CAS retry loop. It is linearizably equivalent (each iteration
+//! atomically sets the same bit and observes the node), but under `k`
+//! concurrent removers of one node the CAS version costs up to
+//! `Θ(k)` RMRs *per remover* (every concurrent success invalidates and
+//! fails the others' CAS), versus exactly one F&A each. The
+//! `ablations -- faa` bench measures the gap.
+
+use super::bits::{empty_word, offset_mask};
+use super::Tree;
+use sal_memory::{Mem, Pid};
+
+impl Tree {
+    /// `Remove(p)` implemented with read + CAS instead of F&A —
+    /// functionally identical to [`Tree::remove`], kept for the §7
+    /// primitive-strength ablation. Lock-free, not wait-free: a remover
+    /// can retry while concurrent removers keep succeeding.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if `p`'s bit was already set (well-formedness,
+    /// as for [`Tree::remove`]).
+    pub fn remove_with_cas<M: Mem + ?Sized>(&self, mem: &M, caller: Pid, p: u64) {
+        debug_assert!((p as usize) < self.geometry().leaves());
+        let b = self.geometry().branching();
+        for lvl in 1..=self.geometry().height() {
+            let node = self.geometry().node(p, lvl);
+            let j = offset_mask(b, self.geometry().offset(p, lvl));
+            let word = self.word(node);
+            let mut snap;
+            loop {
+                snap = mem.read(caller, word);
+                debug_assert_eq!(snap & j, 0, "Remove({p}) set an already-set bit");
+                if mem.cas(caller, word, snap, snap | j) {
+                    break;
+                }
+                // A concurrent remover changed the node; retry — this is
+                // exactly the contention cost F&A avoids.
+            }
+            if (snap | j) != empty_word(b) {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::FindNextResult;
+    use super::*;
+    use sal_memory::MemoryBuilder;
+
+    #[test]
+    fn cas_remove_is_functionally_identical_sequentially() {
+        for branching in [2usize, 4, 16] {
+            let mut builder = MemoryBuilder::new();
+            let a = Tree::layout(&mut builder, 12, branching);
+            let b = Tree::layout(&mut builder, 12, branching);
+            let mem = builder.build_cc(12);
+            for q in [1u64, 3, 4, 5, 9] {
+                a.remove(&mem, q as usize, q);
+                b.remove_with_cas(&mem, q as usize, q);
+            }
+            for p in 0..12u64 {
+                assert_eq!(
+                    a.find_next(&mem, 0, p),
+                    b.find_next(&mem, 0, p),
+                    "B={branching} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cas_remove_yields_bottom_when_everything_goes() {
+        let mut builder = MemoryBuilder::new();
+        let tree = Tree::layout(&mut builder, 8, 2);
+        let mem = builder.build_cc(8);
+        for q in 1..8u64 {
+            tree.remove_with_cas(&mem, q as usize, q);
+        }
+        assert_eq!(tree.find_next(&mem, 0, 0), FindNextResult::Bottom);
+    }
+
+    #[test]
+    fn concurrent_cas_removers_pay_retries_faa_does_not() {
+        use sal_runtime::{simulate, RandomSchedule, SimOptions};
+        // k processes each remove one leaf under a single B=16 node.
+        let k = 8;
+        let mut total_faa = 0u64;
+        let mut total_cas = 0u64;
+        for seed in 0..10u64 {
+            for use_cas in [false, true] {
+                let mut builder = MemoryBuilder::new();
+                let tree = Tree::layout(&mut builder, 16, 16);
+                let mem = builder.build_cc(k);
+                simulate(
+                    &mem,
+                    k,
+                    Box::new(RandomSchedule::seeded(seed)),
+                    SimOptions::default(),
+                    |ctx| {
+                        if use_cas {
+                            tree.remove_with_cas(ctx.mem, ctx.pid, ctx.pid as u64);
+                        } else {
+                            tree.remove(ctx.mem, ctx.pid, ctx.pid as u64);
+                        }
+                    },
+                )
+                .unwrap();
+                if use_cas {
+                    total_cas += mem.total_rmrs();
+                } else {
+                    total_faa += mem.total_rmrs();
+                }
+            }
+        }
+        // F&A: exactly one RMR per remover, every run. CAS: read + CAS
+        // per attempt, plus retries whenever removers interleave.
+        assert_eq!(total_faa, 10 * k as u64, "F&A is one RMR per Remove");
+        // Read + CAS is already 2× F&A before any retry; interleavings
+        // across 10 seeds add retries on top.
+        assert!(
+            total_cas >= total_faa * 2,
+            "CAS emulation should pay visibly more: {total_cas} vs {total_faa}"
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! Static shape of the `W`-ary tree: levels, parents, children, offsets.
+//!
+//! The tree is static (§4: "Because the tree structure is static, we do not
+//! need pointers in the nodes; parent or child nodes are computed by the
+//! processes"), so all navigation is integer arithmetic over an implicit
+//! `B`-ary heap of *internal* nodes. Leaves are sentinels: leaf `p` simply
+//! *is* the number `p` and occupies no shared memory.
+
+/// Reference to an internal tree node: its level (1 = just above the
+/// leaves, `height` = root) and its left-to-right index within the level.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct NodeRef {
+    /// Level of the node; leaves are level 0, the root is level `height`.
+    pub level: usize,
+    /// Index of the node within its level, counting from the left.
+    pub index: u64,
+}
+
+/// Shape of a `B`-ary tree with `leaves` logical leaves, padded up to
+/// `B^height` physical leaf positions.
+#[derive(Clone, Debug)]
+pub struct TreeGeometry {
+    branching: usize,
+    height: usize,
+    leaves: u64,
+    padded_leaves: u64,
+    /// `level_words[l - 1]` = number of internal nodes at level `l`.
+    level_words: Vec<u64>,
+    /// `level_base[l - 1]` = index of level `l`'s first word within the
+    /// tree's flat word array. Levels are laid out root-last.
+    level_base: Vec<u64>,
+    total_words: u64,
+}
+
+impl TreeGeometry {
+    /// Shape of a tree over `leaves ≥ 1` leaves with branching factor
+    /// `branching ∈ 2..=64`. The height is `H = ⌈log_B N⌉`, with a minimum
+    /// of 1 so even a 1-leaf tree has a root word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branching` is outside `2..=64` or `leaves == 0`.
+    pub fn new(leaves: usize, branching: usize) -> Self {
+        assert!(
+            (2..=64).contains(&branching),
+            "branching factor must be in 2..=64, got {branching}"
+        );
+        assert!(leaves >= 1, "tree needs at least one leaf");
+        let leaves = leaves as u64;
+        let b = branching as u64;
+        // H = ceil(log_B leaves), at least 1.
+        let mut height = 1usize;
+        let mut capacity = b;
+        while capacity < leaves {
+            capacity = capacity
+                .checked_mul(b)
+                .expect("tree capacity overflows u64");
+            height += 1;
+        }
+        let padded_leaves = capacity;
+        let mut level_words = Vec::with_capacity(height);
+        let mut level_base = Vec::with_capacity(height);
+        let mut base = 0u64;
+        let mut count = padded_leaves / b; // nodes at level 1
+        for _ in 1..=height {
+            level_words.push(count);
+            level_base.push(base);
+            base += count;
+            count /= b;
+        }
+        TreeGeometry {
+            branching,
+            height,
+            leaves,
+            padded_leaves,
+            level_words,
+            level_base,
+            total_words: base,
+        }
+    }
+
+    /// Branching factor `B` (the paper's `W`).
+    #[inline]
+    pub fn branching(&self) -> usize {
+        self.branching
+    }
+
+    /// Height `H = ⌈log_B N⌉` of the tree (number of internal levels).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of logical leaves `N`.
+    #[inline]
+    pub fn leaves(&self) -> usize {
+        self.leaves as usize
+    }
+
+    /// Number of physical leaf positions `B^H ≥ N`; positions `N..B^H`
+    /// are permanently-abandoned padding.
+    #[inline]
+    pub fn padded_leaves(&self) -> u64 {
+        self.padded_leaves
+    }
+
+    /// Number of shared words the tree occupies — `O(N / B)`, the space
+    /// bound of §4.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.total_words as usize
+    }
+
+    /// `B^l` without floating point.
+    #[inline]
+    fn pow(&self, l: usize) -> u64 {
+        (self.branching as u64).pow(l as u32)
+    }
+
+    /// `Node(p, lvl)`: the level-`lvl` ancestor of leaf `p` (`lvl ≥ 1`).
+    #[inline]
+    pub fn node(&self, p: u64, lvl: usize) -> NodeRef {
+        debug_assert!(lvl >= 1 && lvl <= self.height);
+        NodeRef {
+            level: lvl,
+            index: p / self.pow(lvl),
+        }
+    }
+
+    /// `Offset(p, lvl)`: which child of `Node(p, lvl)` contains leaf `p`.
+    #[inline]
+    pub fn offset(&self, p: u64, lvl: usize) -> usize {
+        debug_assert!(lvl >= 1 && lvl <= self.height);
+        ((p / self.pow(lvl - 1)) % self.branching as u64) as usize
+    }
+
+    /// `Parent(u)`; `None` for the root.
+    #[inline]
+    pub fn parent(&self, u: NodeRef) -> Option<NodeRef> {
+        if u.level >= self.height {
+            None
+        } else {
+            Some(NodeRef {
+                level: u.level + 1,
+                index: u.index / self.branching as u64,
+            })
+        }
+    }
+
+    /// `offsetAtParent(u)`: the offset of `u`'s bit within its parent.
+    #[inline]
+    pub fn offset_at_parent(&self, u: NodeRef) -> usize {
+        (u.index % self.branching as u64) as usize
+    }
+
+    /// `Child(u, o)` when the child is itself an internal node
+    /// (`u.level ≥ 2`).
+    #[inline]
+    pub fn child(&self, u: NodeRef, o: usize) -> NodeRef {
+        debug_assert!(u.level >= 2, "children of level-1 nodes are leaves");
+        debug_assert!(o < self.branching);
+        NodeRef {
+            level: u.level - 1,
+            index: u.index * self.branching as u64 + o as u64,
+        }
+    }
+
+    /// `Child(u, o)` when `u` is at level 1, i.e. the child is leaf number
+    /// `u.index * B + o`.
+    #[inline]
+    pub fn child_leaf(&self, u: NodeRef, o: usize) -> u64 {
+        debug_assert!(u.level == 1);
+        debug_assert!(o < self.branching);
+        u.index * self.branching as u64 + o as u64
+    }
+
+    /// `RightCousin(u)`: the node immediately to `u`'s right at the same
+    /// level, or `None` if `u` is the rightmost node of its level.
+    #[inline]
+    pub fn right_cousin(&self, u: NodeRef) -> Option<NodeRef> {
+        let count = self.level_words[u.level - 1];
+        if u.index + 1 < count {
+            Some(NodeRef {
+                level: u.level,
+                index: u.index + 1,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Flat index of node `u` inside the tree's word array.
+    #[inline]
+    pub fn word_index(&self, u: NodeRef) -> usize {
+        debug_assert!(u.level >= 1 && u.level <= self.height);
+        debug_assert!(u.index < self.level_words[u.level - 1]);
+        (self.level_base[u.level - 1] + u.index) as usize
+    }
+
+    /// Number of internal nodes at level `lvl`.
+    #[inline]
+    pub fn nodes_at_level(&self, lvl: usize) -> u64 {
+        self.level_words[lvl - 1]
+    }
+
+    /// Initial value of node `u`: bit `o` is pre-set iff child `o`'s
+    /// subtree contains only padding (leaf positions `≥ N`), i.e. those
+    /// "processes" are treated as having aborted before the execution
+    /// began.
+    pub fn initial_value(&self, u: NodeRef) -> u64 {
+        let subtree = self.pow(u.level - 1); // leaves per child subtree
+        let first_leaf = u.index * self.pow(u.level);
+        let mut v = 0u64;
+        for o in 0..self.branching {
+            let child_first = first_leaf + o as u64 * subtree;
+            if child_first >= self.leaves {
+                v |= super::bits::offset_mask(self.branching, o);
+            }
+        }
+        v
+    }
+
+    /// Lowest common level of leaves `p` and `q` (Definition 1).
+    pub fn lowest_common_level(&self, p: u64, q: u64) -> usize {
+        let mut lvl = 1;
+        while self.node(p, lvl) != self.node(q, lvl) {
+            lvl += 1;
+        }
+        lvl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn height_is_ceil_log_b_n() {
+        assert_eq!(TreeGeometry::new(2, 2).height(), 1);
+        assert_eq!(TreeGeometry::new(4, 2).height(), 2);
+        assert_eq!(TreeGeometry::new(5, 2).height(), 3);
+        assert_eq!(TreeGeometry::new(64, 8).height(), 2);
+        assert_eq!(TreeGeometry::new(65, 8).height(), 3);
+        assert_eq!(TreeGeometry::new(1, 4).height(), 1);
+        assert_eq!(TreeGeometry::new(1 << 20, 2).height(), 20);
+    }
+
+    #[test]
+    fn space_is_linear_in_n_over_b() {
+        let g = TreeGeometry::new(4096, 64);
+        // 64 level-1 nodes + 1 root.
+        assert_eq!(g.words(), 65);
+        let g = TreeGeometry::new(8, 2);
+        // 4 + 2 + 1
+        assert_eq!(g.words(), 7);
+    }
+
+    #[test]
+    fn node_offset_parent_child_are_consistent() {
+        let g = TreeGeometry::new(27, 3);
+        assert_eq!(g.height(), 3);
+        for p in 0..27u64 {
+            for lvl in 1..=3usize {
+                let n = g.node(p, lvl);
+                let o = g.offset(p, lvl);
+                if lvl >= 2 {
+                    let below = g.node(p, lvl - 1);
+                    assert_eq!(g.child(n, o), below);
+                    assert_eq!(g.offset_at_parent(below), o);
+                    assert_eq!(g.parent(below), Some(n));
+                } else {
+                    assert_eq!(g.child_leaf(n, o), p);
+                }
+            }
+            assert_eq!(g.parent(g.node(p, 3)), None);
+        }
+    }
+
+    #[test]
+    fn right_cousin_exists_except_at_right_edge() {
+        let g = TreeGeometry::new(16, 2);
+        let n = NodeRef { level: 1, index: 3 };
+        assert_eq!(g.right_cousin(n), Some(NodeRef { level: 1, index: 4 }));
+        let last = NodeRef { level: 1, index: 7 };
+        assert_eq!(g.right_cousin(last), None);
+        let root = NodeRef { level: 4, index: 0 };
+        assert_eq!(g.right_cousin(root), None);
+    }
+
+    #[test]
+    fn word_indices_are_dense_and_unique() {
+        let g = TreeGeometry::new(20, 3);
+        let mut seen = std::collections::HashSet::new();
+        for lvl in 1..=g.height() {
+            for i in 0..g.nodes_at_level(lvl) {
+                let w = g.word_index(NodeRef {
+                    level: lvl,
+                    index: i,
+                });
+                assert!(seen.insert(w));
+                assert!(w < g.words());
+            }
+        }
+        assert_eq!(seen.len(), g.words());
+    }
+
+    #[test]
+    fn padding_bits_are_preset() {
+        // 5 leaves, B = 4 → padded to 16, height 2.
+        let g = TreeGeometry::new(5, 4);
+        assert_eq!(g.padded_leaves(), 16);
+        // Level-1 node 0 covers leaves 0..4: no padding.
+        assert_eq!(g.initial_value(NodeRef { level: 1, index: 0 }), 0);
+        // Node 1 covers 4..8: leaf 4 real, 5..8 padding → offsets 1,2,3 set.
+        assert_eq!(g.initial_value(NodeRef { level: 1, index: 1 }), 0b0111);
+        // Nodes 2,3 cover 8..16: all padding.
+        assert_eq!(g.initial_value(NodeRef { level: 1, index: 2 }), 0b1111);
+        // Root: children 2,3 are entirely padding.
+        assert_eq!(g.initial_value(NodeRef { level: 2, index: 0 }), 0b0011);
+    }
+
+    #[test]
+    fn lowest_common_level_matches_definition() {
+        let g = TreeGeometry::new(16, 2);
+        assert_eq!(g.lowest_common_level(0, 1), 1);
+        assert_eq!(g.lowest_common_level(0, 2), 2);
+        assert_eq!(g.lowest_common_level(0, 15), 4);
+        assert_eq!(g.lowest_common_level(6, 7), 1);
+        assert_eq!(g.lowest_common_level(7, 8), 4);
+    }
+}

@@ -1,0 +1,130 @@
+//! Iteration over the live (non-abandoned) slots of a [`Tree`].
+//!
+//! A convenience built on repeated `FindNext` — useful for diagnostics,
+//! tests and tools that want to inspect queue state. Not part of the
+//! paper's interface; under concurrency the iterator is best-effort
+//! (a `⊤` result ends iteration, mirroring the algorithm's semantics).
+
+use super::{FindNextResult, Tree};
+use sal_memory::{Mem, Pid};
+
+/// Iterator over live slots strictly greater than a starting point,
+/// produced by [`Tree::live_slots`].
+pub struct LiveSlots<'a, M: ?Sized> {
+    tree: &'a Tree,
+    mem: &'a M,
+    caller: Pid,
+    cursor: Option<u64>,
+    done: bool,
+}
+
+impl<M: ?Sized> std::fmt::Debug for LiveSlots<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveSlots")
+            .field("cursor", &self.cursor)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl<M: Mem + ?Sized> Iterator for LiveSlots<'_, M> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        let result = match self.cursor {
+            // Slot 0 has no left neighbour; probe it directly.
+            None => {
+                self.cursor = Some(0);
+                if !self.tree.is_removed(self.mem, self.caller, 0) {
+                    return Some(0);
+                }
+                self.tree.find_next(self.mem, self.caller, 0)
+            }
+            Some(c) => self.tree.find_next(self.mem, self.caller, c),
+        };
+        match result {
+            FindNextResult::Next(q) => {
+                self.cursor = Some(q);
+                Some(q)
+            }
+            FindNextResult::Bottom | FindNextResult::Top => {
+                self.done = true;
+                None
+            }
+        }
+    }
+}
+
+impl Tree {
+    /// Iterate over all slots that have not been abandoned, in order,
+    /// as observed by process `caller`. Quiescently this is exactly the
+    /// set of slots whose `Remove` was never invoked; under concurrency
+    /// it is a best-effort snapshot (iteration ends early on a
+    /// crossed-paths observation).
+    pub fn live_slots<'a, M: Mem + ?Sized>(&'a self, mem: &'a M, caller: Pid) -> LiveSlots<'a, M> {
+        LiveSlots {
+            tree: self,
+            mem,
+            caller,
+            cursor: None,
+            done: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sal_memory::MemoryBuilder;
+
+    fn build(n: usize, b: usize) -> (Tree, sal_memory::CcMemory) {
+        let mut builder = MemoryBuilder::new();
+        let tree = Tree::layout(&mut builder, n, b);
+        (tree, builder.build_cc(1))
+    }
+
+    #[test]
+    fn fresh_tree_iterates_every_slot() {
+        let (tree, mem) = build(10, 3);
+        let all: Vec<u64> = tree.live_slots(&mem, 0).collect();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn removed_slots_are_skipped() {
+        let (tree, mem) = build(8, 2);
+        for q in [0u64, 2, 3, 7] {
+            tree.remove(&mem, 0, q);
+        }
+        let live: Vec<u64> = tree.live_slots(&mem, 0).collect();
+        assert_eq!(live, vec![1, 4, 5, 6]);
+    }
+
+    #[test]
+    fn empty_tree_yields_nothing() {
+        let (tree, mem) = build(4, 2);
+        for q in 0..4 {
+            tree.remove(&mem, 0, q);
+        }
+        assert_eq!(tree.live_slots(&mem, 0).count(), 0);
+    }
+
+    #[test]
+    fn iterator_is_resumable_mid_stream() {
+        let (tree, mem) = build(6, 2);
+        tree.remove(&mem, 0, 1);
+        let mut it = tree.live_slots(&mem, 0);
+        assert_eq!(it.next(), Some(0));
+        assert_eq!(it.next(), Some(2));
+        // Slots removed after iteration started are skipped from the
+        // cursor onward.
+        tree.remove(&mem, 0, 3);
+        assert_eq!(it.next(), Some(4));
+        assert_eq!(it.next(), Some(5));
+        assert_eq!(it.next(), None);
+        assert_eq!(it.next(), None, "fused after the end");
+    }
+}

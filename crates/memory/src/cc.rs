@@ -1,0 +1,347 @@
+//! Cache-coherent memory with exact RMR accounting (§2 of the paper).
+
+use crate::mem::Mem;
+use crate::word::{Pid, WordId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Per-word coherence state.
+///
+/// Instead of storing an `N`-bit valid-copy set per word (which would cost
+/// `O(words × procs)` space and make million-leaf tree experiments
+/// infeasible), we track per word a write sequence number together with the
+/// current *run* of consecutive writes by a single process, and per process
+/// a sparse map `word → seq of the word at my last read`. A read by `p` is
+/// local iff `p` has read the word before **and** every write-type
+/// operation since `p`'s last read was performed by `p` itself — precisely
+/// the model's rule that only *another* process's write/CAS/F&A invalidates
+/// `p`'s cached copy.
+struct WordCell {
+    value: u64,
+    /// Total write-type operations performed on this word.
+    seq: u64,
+    /// Process that performed the most recent write-type operation.
+    last_writer: Pid,
+    /// Value of `seq` just before the current run of consecutive
+    /// `last_writer` writes began.
+    run_start: u64,
+}
+
+struct CcState {
+    words: Vec<WordCell>,
+    /// `read_seqs[p][w]` = value of `words[w].seq` at `p`'s last read of `w`.
+    read_seqs: Vec<HashMap<u32, u64>>,
+    rmrs: Vec<u64>,
+    ops: Vec<u64>,
+}
+
+/// Shared memory implementing the paper's cache-coherent (CC) cost model
+/// *exactly*:
+///
+/// * every `write`, `cas` (successful or not), `faa` and `swap` costs the
+///   caller one RMR and invalidates every other process's cached copy;
+/// * a `read` by `p` costs one RMR iff it is `p`'s first read of the word,
+///   or another process performed a write-type operation on the word after
+///   `p`'s last read of it. Otherwise the read is local and free.
+///
+/// A failed `cas` is treated as a write-type operation for invalidation
+/// purposes, following the letter of the model ("another process performed
+/// a write, CAS, or F&A to `w`") and the behaviour of real read-for-
+/// ownership coherence protocols.
+///
+/// The memory is linearizable: all operations are serialized through an
+/// internal mutex, so counting remains exact even when driven by free-
+/// running threads.
+pub struct CcMemory {
+    state: Mutex<CcState>,
+    nprocs: usize,
+    nwords: usize,
+}
+
+impl fmt::Debug for CcMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CcMemory")
+            .field("nwords", &self.nwords)
+            .field("nprocs", &self.nprocs)
+            .finish()
+    }
+}
+
+impl CcMemory {
+    pub(crate) fn new(inits: Vec<u64>, nprocs: usize) -> Self {
+        let nwords = inits.len();
+        let words = inits
+            .into_iter()
+            .map(|v| WordCell {
+                value: v,
+                seq: 0,
+                last_writer: usize::MAX,
+                run_start: 0,
+            })
+            .collect();
+        CcMemory {
+            state: Mutex::new(CcState {
+                words,
+                read_seqs: (0..nprocs).map(|_| HashMap::new()).collect(),
+                rmrs: vec![0; nprocs],
+                ops: vec![0; nprocs],
+            }),
+            nprocs,
+            nwords,
+        }
+    }
+
+    /// Reset all RMR and operation counters (values and coherence state are
+    /// left untouched). Useful between warm-up and measurement phases.
+    pub fn reset_counters(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.rmrs.iter_mut().for_each(|c| *c = 0);
+        s.ops.iter_mut().for_each(|c| *c = 0);
+    }
+
+    fn write_type(&self, p: Pid, w: WordId, f: impl FnOnce(&mut u64) -> u64) -> u64 {
+        let mut s = self.state.lock().unwrap();
+        s.ops[p] += 1;
+        s.rmrs[p] += 1;
+        let cell = &mut s.words[w.index()];
+        let prev_seq = cell.seq;
+        cell.seq += 1;
+        if cell.last_writer != p {
+            cell.last_writer = p;
+            cell.run_start = prev_seq;
+        }
+        f(&mut cell.value)
+    }
+}
+
+impl Mem for CcMemory {
+    fn read(&self, p: Pid, w: WordId) -> u64 {
+        let mut s = self.state.lock().unwrap();
+        s.ops[p] += 1;
+        let cell = &s.words[w.index()];
+        let (value, seq, last_writer, run_start) =
+            (cell.value, cell.seq, cell.last_writer, cell.run_start);
+        let local = match s.read_seqs[p].get(&(w.index() as u32)) {
+            // Cached and no write since, or every write since was ours.
+            Some(&r) => r == seq || (last_writer == p && r >= run_start),
+            None => false, // first read of w by p
+        };
+        if !local {
+            s.rmrs[p] += 1;
+        }
+        s.read_seqs[p].insert(w.index() as u32, seq);
+        value
+    }
+
+    fn write(&self, p: Pid, w: WordId, v: u64) {
+        self.write_type(p, w, |cell| {
+            *cell = v;
+            0
+        });
+    }
+
+    fn cas(&self, p: Pid, w: WordId, old: u64, new: u64) -> bool {
+        self.write_type(p, w, |cell| {
+            if *cell == old {
+                *cell = new;
+                1
+            } else {
+                0
+            }
+        }) == 1
+    }
+
+    fn faa(&self, p: Pid, w: WordId, add: u64) -> u64 {
+        self.write_type(p, w, |cell| {
+            let prev = *cell;
+            *cell = cell.wrapping_add(add);
+            prev
+        })
+    }
+
+    fn swap(&self, p: Pid, w: WordId, v: u64) -> u64 {
+        self.write_type(p, w, |cell| std::mem::replace(cell, v))
+    }
+
+    fn rmrs(&self, p: Pid) -> u64 {
+        self.state.lock().unwrap().rmrs[p]
+    }
+
+    fn total_rmrs(&self) -> u64 {
+        self.state.lock().unwrap().rmrs.iter().sum()
+    }
+
+    fn ops(&self, p: Pid) -> u64 {
+        self.state.lock().unwrap().ops[p]
+    }
+
+    fn num_words(&self) -> usize {
+        self.nwords
+    }
+
+    fn num_procs(&self) -> usize {
+        self.nprocs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryBuilder;
+
+    fn mem(nwords: usize, nprocs: usize) -> (CcMemory, Vec<WordId>) {
+        let mut b = MemoryBuilder::new();
+        let ws: Vec<_> = (0..nwords).map(|_| b.alloc(0)).collect();
+        (b.build_cc(nprocs), ws)
+    }
+
+    #[test]
+    fn first_read_is_remote_subsequent_reads_are_local() {
+        let (m, ws) = mem(1, 1);
+        m.read(0, ws[0]);
+        assert_eq!(m.rmrs(0), 1);
+        for _ in 0..10 {
+            m.read(0, ws[0]);
+        }
+        assert_eq!(m.rmrs(0), 1);
+        assert_eq!(m.ops(0), 11);
+    }
+
+    #[test]
+    fn every_write_type_op_costs_one_rmr() {
+        let (m, ws) = mem(1, 1);
+        m.write(0, ws[0], 1);
+        m.faa(0, ws[0], 1);
+        m.swap(0, ws[0], 5);
+        assert!(m.cas(0, ws[0], 5, 6));
+        assert!(!m.cas(0, ws[0], 99, 7)); // failed CAS still costs an RMR
+        assert_eq!(m.rmrs(0), 5);
+    }
+
+    #[test]
+    fn foreign_write_invalidates_cached_copy() {
+        let (m, ws) = mem(1, 2);
+        m.read(0, ws[0]); // 1 RMR (first read)
+        m.read(0, ws[0]); // local
+        m.write(1, ws[0], 7); // p1: 1 RMR, invalidates p0's copy
+        m.read(0, ws[0]); // 1 RMR again
+        assert_eq!(m.rmrs(0), 2);
+        assert_eq!(m.rmrs(1), 1);
+    }
+
+    #[test]
+    fn own_writes_do_not_invalidate_own_copy() {
+        let (m, ws) = mem(1, 2);
+        m.read(0, ws[0]); // RMR
+        m.write(0, ws[0], 1); // RMR (write-type)
+        m.write(0, ws[0], 2); // RMR
+        m.read(0, ws[0]); // local: all writes since last read were ours
+        assert_eq!(m.rmrs(0), 3);
+    }
+
+    #[test]
+    fn interleaved_foreign_write_inside_own_run_invalidates() {
+        let (m, ws) = mem(1, 2);
+        m.read(0, ws[0]); // p0 RMR
+        m.write(1, ws[0], 1); // p1 writes
+        m.write(0, ws[0], 2); // p0 writes (starts its own run)
+                              // p1's write happened after p0's last read, even though the *most
+                              // recent* writer is p0 — the read must be remote.
+        m.read(0, ws[0]);
+        assert_eq!(m.rmrs(0), 3);
+    }
+
+    #[test]
+    fn spinning_on_an_unchanged_word_is_free() {
+        let (m, ws) = mem(1, 2);
+        m.read(1, ws[0]); // bring into cache: 1 RMR
+        for _ in 0..1000 {
+            assert_eq!(m.read(1, ws[0]), 0);
+        }
+        assert_eq!(m.rmrs(1), 1);
+        m.write(0, ws[0], 1); // the handoff
+        assert_eq!(m.read(1, ws[0]), 1); // one more RMR
+        assert_eq!(m.rmrs(1), 2);
+    }
+
+    #[test]
+    fn failed_cas_invalidates_other_readers() {
+        let (m, ws) = mem(1, 2);
+        m.read(0, ws[0]);
+        assert!(!m.cas(1, ws[0], 42, 43));
+        m.read(0, ws[0]); // invalidated by p1's (failed) CAS
+        assert_eq!(m.rmrs(0), 2);
+    }
+
+    #[test]
+    fn faa_wraps_and_returns_previous() {
+        let (m, ws) = mem(1, 1);
+        assert_eq!(m.faa(0, ws[0], 5), 0);
+        assert_eq!(m.faa(0, ws[0], 1u64.wrapping_neg()), 5);
+        assert_eq!(m.read(0, ws[0]), 4);
+    }
+
+    #[test]
+    fn swap_returns_previous_value() {
+        let (m, ws) = mem(1, 1);
+        m.write(0, ws[0], 3);
+        assert_eq!(m.swap(0, ws[0], 9), 3);
+        assert_eq!(m.read(0, ws[0]), 9);
+    }
+
+    #[test]
+    fn counters_reset_but_values_survive() {
+        let (m, ws) = mem(1, 1);
+        m.write(0, ws[0], 11);
+        m.reset_counters();
+        assert_eq!(m.rmrs(0), 0);
+        assert_eq!(m.ops(0), 0);
+        assert_eq!(m.read(0, ws[0]), 11);
+    }
+
+    #[test]
+    fn total_rmrs_sums_over_processes() {
+        let (m, ws) = mem(2, 3);
+        m.write(0, ws[0], 1);
+        m.write(1, ws[1], 1);
+        m.read(2, ws[0]);
+        assert_eq!(m.total_rmrs(), 3);
+    }
+
+    #[test]
+    fn words_are_independent_coherence_units() {
+        let (m, ws) = mem(2, 2);
+        m.read(0, ws[0]);
+        m.read(0, ws[1]);
+        m.write(1, ws[1], 5); // invalidates only ws[1]
+        m.read(0, ws[0]); // still cached
+        assert_eq!(m.rmrs(0), 2);
+        m.read(0, ws[1]); // invalidated
+        assert_eq!(m.rmrs(0), 3);
+    }
+
+    #[test]
+    fn concurrent_threads_count_exactly() {
+        use std::sync::Arc;
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc(0);
+        let m = Arc::new(b.build_cc(4));
+        let handles: Vec<_> = (0..4)
+            .map(|p| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.faa(p, w, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.read(0, w), 4000);
+        // Each F&A is exactly one RMR.
+        assert_eq!(m.total_rmrs(), 4000 + 1 /* the read above */);
+    }
+}

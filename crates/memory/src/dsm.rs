@@ -1,0 +1,196 @@
+//! Distributed-shared-memory flavour: per-word home processes.
+
+use crate::mem::Mem;
+use crate::word::{Pid, WordId};
+use std::fmt;
+use std::sync::Mutex;
+
+struct DsmState {
+    values: Vec<u64>,
+    rmrs: Vec<u64>,
+    ops: Vec<u64>,
+}
+
+/// Shared memory implementing the paper's DSM cost model: each word is
+/// permanently local to one *home* process (assigned at allocation time via
+/// [`MemoryBuilder::alloc_at`]) and remote to all others. Every operation —
+/// read or write-type — by a non-home process costs one RMR; operations by
+/// the home process are free.
+///
+/// The DSM variant of the one-shot lock (§3, "DSM variant") allocates each
+/// process's `announce` slot and spin bit at that process, so its busy-wait
+/// loop incurs no RMRs.
+///
+/// [`MemoryBuilder::alloc_at`]: crate::MemoryBuilder::alloc_at
+pub struct DsmMemory {
+    state: Mutex<DsmState>,
+    homes: Vec<Pid>,
+    nprocs: usize,
+}
+
+impl fmt::Debug for DsmMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DsmMemory")
+            .field("nwords", &self.homes.len())
+            .field("nprocs", &self.nprocs)
+            .finish()
+    }
+}
+
+impl DsmMemory {
+    pub(crate) fn new(inits: Vec<u64>, homes: Vec<Pid>, nprocs: usize) -> Self {
+        assert!(
+            homes.iter().all(|&h| h < nprocs),
+            "a word's home process must be < nprocs"
+        );
+        DsmMemory {
+            state: Mutex::new(DsmState {
+                values: inits,
+                rmrs: vec![0; nprocs],
+                ops: vec![0; nprocs],
+            }),
+            homes,
+            nprocs,
+        }
+    }
+
+    /// Home process of word `w`.
+    pub fn home(&self, w: WordId) -> Pid {
+        self.homes[w.index()]
+    }
+
+    /// Reset all RMR and operation counters, keeping word values.
+    pub fn reset_counters(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.rmrs.iter_mut().for_each(|c| *c = 0);
+        s.ops.iter_mut().for_each(|c| *c = 0);
+    }
+
+    fn access<R>(&self, p: Pid, w: WordId, f: impl FnOnce(&mut u64) -> R) -> R {
+        let mut s = self.state.lock().unwrap();
+        s.ops[p] += 1;
+        if self.homes[w.index()] != p {
+            s.rmrs[p] += 1;
+        }
+        f(&mut s.values[w.index()])
+    }
+}
+
+impl Mem for DsmMemory {
+    fn read(&self, p: Pid, w: WordId) -> u64 {
+        self.access(p, w, |v| *v)
+    }
+
+    fn write(&self, p: Pid, w: WordId, v: u64) {
+        self.access(p, w, |cell| *cell = v)
+    }
+
+    fn cas(&self, p: Pid, w: WordId, old: u64, new: u64) -> bool {
+        self.access(p, w, |cell| {
+            if *cell == old {
+                *cell = new;
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    fn faa(&self, p: Pid, w: WordId, add: u64) -> u64 {
+        self.access(p, w, |cell| {
+            let prev = *cell;
+            *cell = cell.wrapping_add(add);
+            prev
+        })
+    }
+
+    fn swap(&self, p: Pid, w: WordId, v: u64) -> u64 {
+        self.access(p, w, |cell| std::mem::replace(cell, v))
+    }
+
+    fn rmrs(&self, p: Pid) -> u64 {
+        self.state.lock().unwrap().rmrs[p]
+    }
+
+    fn total_rmrs(&self) -> u64 {
+        self.state.lock().unwrap().rmrs.iter().sum()
+    }
+
+    fn ops(&self, p: Pid) -> u64 {
+        self.state.lock().unwrap().ops[p]
+    }
+
+    fn num_words(&self) -> usize {
+        self.homes.len()
+    }
+
+    fn num_procs(&self) -> usize {
+        self.nprocs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryBuilder;
+
+    #[test]
+    fn home_accesses_are_free_remote_accesses_cost() {
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc_at(1, 0);
+        let m = b.build_dsm(2);
+        for _ in 0..100 {
+            m.read(1, w); // home: free
+        }
+        assert_eq!(m.rmrs(1), 0);
+        m.read(0, w);
+        m.write(0, w, 2);
+        assert_eq!(m.rmrs(0), 2);
+        assert_eq!(m.home(w), 1);
+    }
+
+    #[test]
+    fn home_writes_are_also_free() {
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc_at(0, 0);
+        let m = b.build_dsm(1);
+        m.write(0, w, 1);
+        m.faa(0, w, 1);
+        assert!(m.cas(0, w, 2, 3));
+        m.swap(0, w, 4);
+        assert_eq!(m.rmrs(0), 0);
+        assert_eq!(m.ops(0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "home process")]
+    fn invalid_home_is_rejected_at_build() {
+        let mut b = MemoryBuilder::new();
+        b.alloc_at(5, 0);
+        let _ = b.build_dsm(2);
+    }
+
+    #[test]
+    fn semantics_match_cc_flavour() {
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc(10);
+        let m = b.build_dsm(2);
+        assert_eq!(m.faa(1, w, 5), 10);
+        assert!(!m.cas(1, w, 10, 0));
+        assert!(m.cas(1, w, 15, 1));
+        assert_eq!(m.swap(1, w, 2), 1);
+        assert_eq!(m.read(1, w), 2);
+        assert_eq!(m.total_rmrs(), 5);
+    }
+
+    #[test]
+    fn reset_counters_preserves_values() {
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc_at(0, 3);
+        let m = b.build_dsm(2);
+        m.write(1, w, 9);
+        m.reset_counters();
+        assert_eq!(m.rmrs(1), 0);
+        assert_eq!(m.read(0, w), 9);
+    }
+}

@@ -1,0 +1,156 @@
+//! Uninstrumented memory over real atomics.
+
+use crate::mem::Mem;
+use crate::word::{Pid, WordId};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One word per cache line, so that distinct logical words never exhibit
+/// false sharing — mirroring the per-word coherence granularity of the
+/// instrumented memories.
+#[repr(align(64))]
+struct PaddedWord(AtomicU64);
+
+/// Shared memory over real `AtomicU64`s with **no accounting**: the fast
+/// path used by `sal-sync` to run the identical algorithm code on real
+/// threads.
+///
+/// All operations use sequentially consistent ordering; the paper's model
+/// (like essentially all of the mutual-exclusion literature) assumes
+/// sequential consistency, and the algorithms are not proven for weaker
+/// orderings. Each word is padded to its own cache line.
+///
+/// RMR and op counters always read 0 — use [`CcMemory`] or [`DsmMemory`]
+/// when measuring.
+///
+/// [`CcMemory`]: crate::CcMemory
+/// [`DsmMemory`]: crate::DsmMemory
+pub struct RawMemory {
+    words: Vec<PaddedWord>,
+    nprocs: usize,
+}
+
+impl fmt::Debug for RawMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RawMemory")
+            .field("nwords", &self.words.len())
+            .field("nprocs", &self.nprocs)
+            .finish()
+    }
+}
+
+impl RawMemory {
+    pub(crate) fn new(inits: Vec<u64>, nprocs: usize) -> Self {
+        RawMemory {
+            words: inits
+                .into_iter()
+                .map(|v| PaddedWord(AtomicU64::new(v)))
+                .collect(),
+            nprocs,
+        }
+    }
+
+    #[inline]
+    fn word(&self, w: WordId) -> &AtomicU64 {
+        &self.words[w.index()].0
+    }
+}
+
+impl Mem for RawMemory {
+    #[inline]
+    fn read(&self, _p: Pid, w: WordId) -> u64 {
+        self.word(w).load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn write(&self, _p: Pid, w: WordId, v: u64) {
+        self.word(w).store(v, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn cas(&self, _p: Pid, w: WordId, old: u64, new: u64) -> bool {
+        self.word(w)
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    #[inline]
+    fn faa(&self, _p: Pid, w: WordId, add: u64) -> u64 {
+        self.word(w).fetch_add(add, Ordering::SeqCst)
+    }
+
+    #[inline]
+    fn swap(&self, _p: Pid, w: WordId, v: u64) -> u64 {
+        self.word(w).swap(v, Ordering::SeqCst)
+    }
+
+    fn rmrs(&self, _p: Pid) -> u64 {
+        0
+    }
+
+    fn total_rmrs(&self) -> u64 {
+        0
+    }
+
+    fn ops(&self, _p: Pid) -> u64 {
+        0
+    }
+
+    fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    fn num_procs(&self) -> usize {
+        self.nprocs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryBuilder;
+    use std::sync::Arc;
+
+    #[test]
+    fn words_live_on_distinct_cache_lines() {
+        assert!(std::mem::size_of::<PaddedWord>() >= 64);
+        assert_eq!(std::mem::align_of::<PaddedWord>(), 64);
+    }
+
+    #[test]
+    fn primitive_semantics() {
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc(1);
+        let m = b.build_raw(1);
+        assert_eq!(m.read(0, w), 1);
+        assert_eq!(m.faa(0, w, 2), 1);
+        assert!(m.cas(0, w, 3, 4));
+        assert!(!m.cas(0, w, 3, 5));
+        assert_eq!(m.swap(0, w, 6), 4);
+        m.write(0, w, 7);
+        assert_eq!(m.read(0, w), 7);
+        assert_eq!(m.rmrs(0), 0);
+        assert_eq!(m.total_rmrs(), 0);
+    }
+
+    #[test]
+    fn faa_is_atomic_under_real_contention() {
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc(0);
+        let m = Arc::new(b.build_raw(8));
+        let handles: Vec<_> = (0..8)
+            .map(|p| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        m.faa(p, w, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.read(0, w), 80_000);
+    }
+}

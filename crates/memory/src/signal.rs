@@ -1,0 +1,175 @@
+//! Abort signals — the external "please give up" input of the abortable
+//! mutual exclusion problem statement.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The external abort signal a process polls while busy-waiting in
+/// `Enter` (line 3 of Algorithm 3.1).
+///
+/// The problem statement (§2) models the signal as arriving from outside
+/// the algorithm; the *bounded abort* requirement is that once the signal
+/// is observed, `Enter` returns within a finite number of the process's own
+/// steps. Polling the signal is a process-local action and never costs an
+/// RMR.
+pub trait AbortSignal {
+    /// Whether the abort signal has been delivered.
+    fn is_set(&self) -> bool;
+}
+
+/// A signal that never fires — for passages that must not abort.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverAbort;
+
+impl AbortSignal for NeverAbort {
+    #[inline]
+    fn is_set(&self) -> bool {
+        false
+    }
+}
+
+/// A shareable, externally triggerable abort flag.
+///
+/// ```
+/// use sal_memory::{AbortFlag, AbortSignal};
+///
+/// let flag = AbortFlag::new();
+/// assert!(!flag.is_set());
+/// flag.set();
+/// assert!(flag.is_set());
+/// flag.clear();
+/// assert!(!flag.is_set());
+/// ```
+#[derive(Clone, Default)]
+pub struct AbortFlag(Arc<AtomicBool>);
+
+impl AbortFlag {
+    /// New, unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deliver the abort signal.
+    pub fn set(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Withdraw the signal (e.g. before a retry).
+    pub fn clear(&self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+}
+
+impl AbortSignal for AbortFlag {
+    #[inline]
+    fn is_set(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+impl fmt::Debug for AbortFlag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AbortFlag").field(&self.is_set()).finish()
+    }
+}
+
+/// An abort signal that fires once a wall-clock deadline passes — the
+/// classic "try-lock with timeout" usage (Scott & Scherer's motivating use
+/// case for abortable locks).
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline(Instant);
+
+impl Deadline {
+    /// Abort once `Instant::now() >= at`.
+    pub fn at(at: Instant) -> Self {
+        Deadline(at)
+    }
+
+    /// Abort after `timeout` from now.
+    pub fn after(timeout: std::time::Duration) -> Self {
+        Deadline(Instant::now() + timeout)
+    }
+}
+
+impl AbortSignal for Deadline {
+    #[inline]
+    fn is_set(&self) -> bool {
+        Instant::now() >= self.0
+    }
+}
+
+/// Adapts any closure into an [`AbortSignal`] — e.g. "abort once the
+/// simulator's global step counter passes a threshold".
+#[derive(Clone, Copy)]
+pub struct SignalFn<F>(pub F);
+
+impl<F: Fn() -> bool> AbortSignal for SignalFn<F> {
+    #[inline]
+    fn is_set(&self) -> bool {
+        (self.0)()
+    }
+}
+
+impl<F> fmt::Debug for SignalFn<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SignalFn(..)")
+    }
+}
+
+impl<S: AbortSignal + ?Sized> AbortSignal for &S {
+    #[inline]
+    fn is_set(&self) -> bool {
+        (**self).is_set()
+    }
+}
+
+impl<S: AbortSignal + ?Sized> AbortSignal for Arc<S> {
+    #[inline]
+    fn is_set(&self) -> bool {
+        (**self).is_set()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn never_abort_never_fires() {
+        assert!(!NeverAbort.is_set());
+    }
+
+    #[test]
+    fn flag_round_trips_and_clones_share_state() {
+        let a = AbortFlag::new();
+        let b = a.clone();
+        a.set();
+        assert!(b.is_set());
+        b.clear();
+        assert!(!a.is_set());
+    }
+
+    #[test]
+    fn deadline_fires_after_expiry() {
+        let d = Deadline::after(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(d.is_set());
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.is_set());
+    }
+
+    #[test]
+    fn references_and_arcs_are_signals_too() {
+        fn takes_signal(s: impl AbortSignal) -> bool {
+            s.is_set()
+        }
+        let flag = AbortFlag::new();
+        flag.set();
+        assert!(takes_signal(&flag));
+        let arc: Arc<AbortFlag> = Arc::new(flag);
+        assert!(takes_signal(arc));
+    }
+}

@@ -1,0 +1,70 @@
+//! Word and process identifiers.
+
+use std::fmt;
+
+/// Identifier of a process (equivalently, a thread of the simulated
+/// asynchronous system). Processes are numbered `0..N`.
+pub type Pid = usize;
+
+/// Handle to one shared `W`-bit word allocated from a [`MemoryBuilder`].
+///
+/// A `WordId` is just an index into the word store; it is `Copy` and cheap
+/// to embed in algorithm structs. Every word is modelled as its own
+/// coherence unit (its own "cache line"), matching the paper's per-word
+/// cost model.
+///
+/// [`MemoryBuilder`]: crate::MemoryBuilder
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WordId(pub(crate) u32);
+
+impl WordId {
+    /// Raw index of this word inside its memory.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a `WordId` from a raw index.
+    ///
+    /// Intended for serialization/debugging; using an id against a memory
+    /// it was not allocated from panics on first access.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        WordId(u32::try_from(index).expect("word index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for WordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for WordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_id_round_trips_through_index() {
+        let w = WordId::from_index(42);
+        assert_eq!(w.index(), 42);
+        assert_eq!(w, WordId(42));
+    }
+
+    #[test]
+    fn word_id_debug_is_compact() {
+        assert_eq!(format!("{:?}", WordId(7)), "w7");
+        assert_eq!(format!("{}", WordId(7)), "w7");
+    }
+
+    #[test]
+    fn word_id_orders_by_index() {
+        assert!(WordId(1) < WordId(2));
+    }
+}

@@ -1,0 +1,247 @@
+//! Step-stamped event log and the mutual-exclusion / fairness monitors.
+//!
+//! Process bodies record protocol milestones (enter started, CS entered,
+//! CS left, aborted); because the simulator serializes all shared-memory
+//! steps, the log order is the real-time order, and safety properties
+//! are checked *post-hoc* against the complete log:
+//!
+//! * **mutual exclusion** — CS occupancy never exceeds one
+//!   ([`EventLog::check_mutual_exclusion`]);
+//! * **FCFS** — among non-aborting processes, CS entry order equals
+//!   doorway (ticket) order ([`EventLog::check_fcfs`]).
+
+use sal_memory::Pid;
+use std::sync::Mutex;
+
+/// What happened.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// The process invoked `Enter`.
+    EnterStart,
+    /// The process completed the doorway with the given ticket.
+    Doorway(u64),
+    /// `Enter` returned `true`; the process is in the CS.
+    CsEnter,
+    /// The process left the CS (about to call `Exit`).
+    CsLeave,
+    /// `Exit` completed.
+    ExitDone,
+    /// `Enter` returned `false` (aborted).
+    Aborted,
+    /// Free-form instrumentation.
+    Custom(&'static str, u64),
+}
+
+/// One log entry.
+#[derive(Copy, Clone, Debug)]
+pub struct Event {
+    /// The process that recorded the event.
+    pub pid: Pid,
+    /// Steps granted before the event was recorded (real-time position).
+    pub step: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Violation of mutual exclusion found in a log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MutexViolation {
+    /// The process already in the CS.
+    pub occupant: Pid,
+    /// The process that entered on top of it.
+    pub intruder: Pid,
+    /// Step stamp of the violating entry.
+    pub step: u64,
+}
+
+/// Violation of FCFS found in a log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FcfsViolation {
+    /// The overtaken process (smaller ticket, entered later).
+    pub overtaken: Pid,
+    /// The process that jumped the queue.
+    pub overtaker: Pid,
+}
+
+/// Thread-safe, step-stamped event log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventLog {
+    /// New, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event (stamped by the caller).
+    pub fn record(&self, pid: Pid, step: u64, kind: EventKind) {
+        self.events.lock().unwrap().push(Event { pid, step, kind });
+    }
+
+    /// Snapshot of all events, in real-time order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Number of events of a given kind.
+    pub fn count(&self, pred: impl Fn(&EventKind) -> bool) -> usize {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| pred(&e.kind))
+            .count()
+    }
+
+    /// Verify that at most one process was ever inside the CS.
+    pub fn check_mutual_exclusion(&self) -> Result<(), MutexViolation> {
+        let mut occupant: Option<Pid> = None;
+        for e in self.events.lock().unwrap().iter() {
+            match e.kind {
+                EventKind::CsEnter => {
+                    if let Some(q) = occupant {
+                        return Err(MutexViolation {
+                            occupant: q,
+                            intruder: e.pid,
+                            step: e.step,
+                        });
+                    }
+                    occupant = Some(e.pid);
+                }
+                EventKind::CsLeave => {
+                    debug_assert_eq!(occupant, Some(e.pid), "CsLeave without CsEnter");
+                    occupant = None;
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify FCFS: for processes that recorded a [`EventKind::Doorway`]
+    /// ticket and were not aborted, CS entry order must equal ticket
+    /// order.
+    pub fn check_fcfs(&self) -> Result<(), FcfsViolation> {
+        let events = self.events.lock().unwrap();
+        let mut cs_order: Vec<(Pid, u64)> = Vec::new(); // (pid, ticket)
+                                                        // Pair each CS entry with the pid's most recent *preceding*
+                                                        // doorway ticket, so multi-passage runs attribute each entry to
+                                                        // the right attempt. Entries without a recorded ticket (locks
+                                                        // with no doorway, or harness runs without ticketing) are simply
+                                                        // unconstrained.
+        let mut last_ticket: std::collections::HashMap<Pid, u64> = std::collections::HashMap::new();
+        for e in events.iter() {
+            match e.kind {
+                EventKind::Doorway(t) => {
+                    last_ticket.insert(e.pid, t);
+                }
+                EventKind::CsEnter => {
+                    if let Some(&t) = last_ticket.get(&e.pid) {
+                        cs_order.push((e.pid, t));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for w in cs_order.windows(2) {
+            if w[0].1 > w[1].1 {
+                return Err(FcfsViolation {
+                    overtaken: w[1].0,
+                    overtaker: w[0].0,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-process passage summary: `(entered, aborted)` counts.
+    pub fn outcomes(&self, nprocs: usize) -> Vec<(usize, usize)> {
+        let mut out = vec![(0usize, 0usize); nprocs];
+        for e in self.events.lock().unwrap().iter() {
+            match e.kind {
+                EventKind::CsEnter => out[e.pid].0 += 1,
+                EventKind::Aborted => out[e.pid].1 += 1,
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_log_passes_mutual_exclusion() {
+        let log = EventLog::new();
+        log.record(0, 0, EventKind::CsEnter);
+        log.record(0, 1, EventKind::CsLeave);
+        log.record(1, 2, EventKind::CsEnter);
+        log.record(1, 3, EventKind::CsLeave);
+        assert!(log.check_mutual_exclusion().is_ok());
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let log = EventLog::new();
+        log.record(0, 0, EventKind::CsEnter);
+        log.record(1, 1, EventKind::CsEnter);
+        let v = log.check_mutual_exclusion().unwrap_err();
+        assert_eq!(
+            v,
+            MutexViolation {
+                occupant: 0,
+                intruder: 1,
+                step: 1
+            }
+        );
+    }
+
+    #[test]
+    fn fcfs_holds_for_ticket_ordered_entries() {
+        let log = EventLog::new();
+        log.record(0, 0, EventKind::Doorway(0));
+        log.record(1, 1, EventKind::Doorway(1));
+        log.record(0, 2, EventKind::CsEnter);
+        log.record(1, 3, EventKind::CsEnter);
+        assert!(log.check_fcfs().is_ok());
+    }
+
+    #[test]
+    fn fcfs_violation_is_detected() {
+        let log = EventLog::new();
+        log.record(0, 0, EventKind::Doorway(0));
+        log.record(1, 1, EventKind::Doorway(1));
+        log.record(1, 2, EventKind::CsEnter); // ticket 1 enters first
+        log.record(0, 3, EventKind::CsEnter);
+        let v = log.check_fcfs().unwrap_err();
+        assert_eq!(v.overtaker, 1);
+        assert_eq!(v.overtaken, 0);
+    }
+
+    #[test]
+    fn aborters_do_not_constrain_fcfs() {
+        let log = EventLog::new();
+        log.record(0, 0, EventKind::Doorway(0));
+        log.record(1, 1, EventKind::Doorway(1));
+        log.record(0, 2, EventKind::Aborted); // ticket 0 aborted
+        log.record(1, 3, EventKind::CsEnter);
+        assert!(log.check_fcfs().is_ok());
+    }
+
+    #[test]
+    fn outcomes_are_tallied_per_process() {
+        let log = EventLog::new();
+        log.record(0, 0, EventKind::CsEnter);
+        log.record(0, 1, EventKind::CsLeave);
+        log.record(1, 2, EventKind::Aborted);
+        log.record(0, 3, EventKind::CsEnter);
+        let o = log.outcomes(2);
+        assert_eq!(o[0], (2, 0));
+        assert_eq!(o[1], (0, 1));
+        assert_eq!(log.count(|k| matches!(k, EventKind::CsEnter)), 2);
+    }
+}

@@ -1,0 +1,341 @@
+//! Lock workload harness: drive any [`Lock`] through the simulator and
+//! collect per-passage RMR statistics and safety-check results — the
+//! engine behind every Table-1 and figure experiment.
+
+use crate::events::{EventKind, FcfsViolation, MutexViolation};
+use crate::schedule::SchedulePolicy;
+use crate::sim::{simulate, SimError, SimOptions};
+use sal_core::Lock;
+use sal_memory::{AbortSignal, Mem, Pid, SignalFn, WordId};
+use std::sync::Mutex;
+
+/// What one process does with its passages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// Acquire, run the CS, release; never abort.
+    #[default]
+    Normal,
+    /// Deliver the abort signal once the process has spent this many
+    /// global steps inside `enter` (0 = signal set from the start).
+    AbortAfter(u64),
+}
+
+/// Per-process plan.
+#[derive(Debug, Clone, Copy)]
+pub struct ProcPlan {
+    /// How many passages the process attempts.
+    pub passages: usize,
+    /// Its behaviour.
+    pub role: Role,
+}
+
+impl ProcPlan {
+    /// `passages` normal (never-aborting) passages.
+    pub fn normal(passages: usize) -> Self {
+        ProcPlan {
+            passages,
+            role: Role::Normal,
+        }
+    }
+
+    /// `passages` attempts, each aborting after waiting `steps` global
+    /// steps inside `enter`.
+    pub fn aborter(passages: usize, steps: u64) -> Self {
+        ProcPlan {
+            passages,
+            role: Role::AbortAfter(steps),
+        }
+    }
+}
+
+/// Workload description.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// One plan per process.
+    pub plans: Vec<ProcPlan>,
+    /// Shared-memory operations each process performs inside the CS
+    /// (more ops ⇒ longer CS ⇒ more interleaving pressure).
+    pub cs_ops: usize,
+    /// Step budget before declaring livelock.
+    pub max_steps: u64,
+}
+
+impl WorkloadSpec {
+    /// `n` processes, one no-abort passage each.
+    pub fn uniform(n: usize, passages: usize) -> Self {
+        WorkloadSpec {
+            plans: vec![ProcPlan::normal(passages); n],
+            cs_ops: 1,
+            max_steps: 20_000_000,
+        }
+    }
+}
+
+/// Statistics for one passage attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct PassageStats {
+    /// The attempting process.
+    pub pid: Pid,
+    /// 0-based attempt index of this process.
+    pub attempt: usize,
+    /// Whether the CS was entered (vs. aborted).
+    pub entered: bool,
+    /// RMRs incurred across `enter` + CS + `exit` (or across the aborted
+    /// `enter`).
+    pub rmrs: u64,
+}
+
+/// Everything measured during one workload run.
+#[derive(Debug)]
+pub struct WorkloadReport {
+    /// Per-passage statistics, in completion order.
+    pub passages: Vec<PassageStats>,
+    /// Total shared-memory steps.
+    pub steps: u64,
+    /// Mutual-exclusion check over the event log.
+    pub mutex_check: Result<(), MutexViolation>,
+    /// FCFS check (meaningful only when the body recorded doorway
+    /// tickets, i.e. for [`run_one_shot`]).
+    pub fcfs_check: Result<(), FcfsViolation>,
+    /// Per-process `(entered, aborted)` tallies.
+    pub outcomes: Vec<(usize, usize)>,
+    /// The full step-stamped event log, in real-time order.
+    pub events: Vec<crate::events::Event>,
+}
+
+impl WorkloadReport {
+    /// Maximum per-passage RMR count among *entered* passages.
+    pub fn max_entered_rmrs(&self) -> u64 {
+        self.passages
+            .iter()
+            .filter(|p| p.entered)
+            .map(|p| p.rmrs)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum per-passage RMR count among *aborted* passages.
+    pub fn max_aborted_rmrs(&self) -> u64 {
+        self.passages
+            .iter()
+            .filter(|p| !p.entered)
+            .map(|p| p.rmrs)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean RMRs over entered passages.
+    pub fn mean_entered_rmrs(&self) -> f64 {
+        let (sum, count) = self
+            .passages
+            .iter()
+            .filter(|p| p.entered)
+            .fold((0u64, 0u64), |(s, c), p| (s + p.rmrs, c + 1));
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    /// Number of passages that entered the CS.
+    pub fn total_entered(&self) -> usize {
+        self.passages.iter().filter(|p| p.entered).count()
+    }
+
+    /// Panic unless mutual exclusion held.
+    pub fn assert_safe(&self) {
+        if let Err(v) = &self.mutex_check {
+            panic!("mutual exclusion violated: {v:?}");
+        }
+    }
+}
+
+/// Run `lock` under the given workload and schedule. `cs_word` is a
+/// shared scratch word the CS body hammers (allocate it in the same
+/// memory as the lock).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] (step-limit ⇒ livelock/starvation, or a body
+/// panic such as a capacity assertion).
+pub fn run_lock<M: Mem + ?Sized>(
+    lock: &dyn Lock,
+    mem: &M,
+    cs_word: WordId,
+    spec: &WorkloadSpec,
+    policy: Box<dyn SchedulePolicy>,
+) -> Result<WorkloadReport, SimError> {
+    run_inner(lock, mem, cs_word, spec, policy, false)
+}
+
+/// Like [`run_lock`], but additionally records doorway tickets so that
+/// the FCFS check is meaningful. Requires a lock whose `enter` is the
+/// one-shot algorithm (ticket = order of doorway completion); the ticket
+/// is inferred as the number of doorway events recorded so far, which is
+/// correct because the simulator serializes steps and the doorway is the
+/// first shared-memory operation of `enter`.
+pub fn run_one_shot<M: Mem + ?Sized>(
+    lock: &dyn Lock,
+    mem: &M,
+    cs_word: WordId,
+    spec: &WorkloadSpec,
+    policy: Box<dyn SchedulePolicy>,
+) -> Result<WorkloadReport, SimError> {
+    run_inner(lock, mem, cs_word, spec, policy, true)
+}
+
+fn run_inner<M: Mem + ?Sized>(
+    lock: &dyn Lock,
+    mem: &M,
+    cs_word: WordId,
+    spec: &WorkloadSpec,
+    policy: Box<dyn SchedulePolicy>,
+    doorway_tickets: bool,
+) -> Result<WorkloadReport, SimError> {
+    let nprocs = spec.plans.len();
+    let stats: Mutex<Vec<PassageStats>> = Mutex::new(Vec::new());
+    let opts = SimOptions {
+        max_steps: spec.max_steps,
+        abort_plan: vec![],
+    };
+    let report = simulate(mem, nprocs, policy, opts, |ctx| {
+        let plan = spec.plans[ctx.pid];
+        for attempt in 0..plan.passages {
+            ctx.event(EventKind::EnterStart);
+            let rmrs_before = ctx.mem.rmrs(ctx.pid);
+            let do_enter = |signal: &dyn AbortSignal| {
+                if doorway_tickets {
+                    let (entered, ticket) = lock.enter_ticketed(ctx.mem, ctx.pid, signal);
+                    if let Some(t) = ticket {
+                        // Ticket *values* (not event positions) drive the
+                        // FCFS check, so post-enter recording is sound.
+                        ctx.event(EventKind::Doorway(t));
+                    }
+                    entered
+                } else {
+                    lock.enter(ctx.mem, ctx.pid, signal)
+                }
+            };
+            let entered = match plan.role {
+                Role::Normal => do_enter(&sal_memory::NeverAbort),
+                Role::AbortAfter(steps) => {
+                    let deadline = ctx.steps() + steps;
+                    let external = ctx.signal;
+                    let combined = SignalFn(|| ctx.steps() >= deadline || external.is_set());
+                    do_enter(&combined)
+                }
+            };
+            if entered {
+                ctx.event(EventKind::CsEnter);
+                for _ in 0..spec.cs_ops {
+                    ctx.mem.faa(ctx.pid, cs_word, 1);
+                }
+                ctx.event(EventKind::CsLeave);
+                lock.exit(ctx.mem, ctx.pid);
+                ctx.event(EventKind::ExitDone);
+            } else {
+                ctx.event(EventKind::Aborted);
+            }
+            stats.lock().unwrap().push(PassageStats {
+                pid: ctx.pid,
+                attempt,
+                entered,
+                rmrs: ctx.mem.rmrs(ctx.pid) - rmrs_before,
+            });
+        }
+    })?;
+
+    // The doorway-ticket trick is only valid for one-shot locks where
+    // the first step of enter is the F&A; the caller opted in.
+    Ok(WorkloadReport {
+        passages: stats.into_inner().unwrap(),
+        steps: report.steps,
+        mutex_check: report.log.check_mutual_exclusion(),
+        fcfs_check: report.log.check_fcfs(),
+        outcomes: report.log.outcomes(nprocs),
+        events: report.log.events(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{RandomSchedule, RoundRobin};
+    use sal_core::one_shot::OneShotLock;
+    use sal_memory::MemoryBuilder;
+
+    fn one_shot(n: usize, branching: usize) -> (OneShotLock, WordId, sal_memory::CcMemory) {
+        let mut b = MemoryBuilder::new();
+        let lock = OneShotLock::layout(&mut b, n, branching);
+        let cs = b.alloc(0);
+        (lock, cs, b.build_cc(n))
+    }
+
+    #[test]
+    fn all_processes_enter_under_round_robin() {
+        let (lock, cs, mem) = one_shot(6, 2);
+        let spec = WorkloadSpec::uniform(6, 1);
+        let report = run_lock(&lock, &mem, cs, &spec, Box::new(RoundRobin::new())).unwrap();
+        report.assert_safe();
+        assert_eq!(report.total_entered(), 6);
+        assert_eq!(mem.read(0, cs), 6);
+    }
+
+    #[test]
+    fn random_schedules_preserve_safety_and_fcfs() {
+        for seed in 0..30 {
+            let (lock, cs, mem) = one_shot(5, 2);
+            let spec = WorkloadSpec::uniform(5, 1);
+            let report = run_one_shot(
+                &lock,
+                &mem,
+                cs,
+                &spec,
+                Box::new(RandomSchedule::seeded(seed)),
+            )
+            .unwrap();
+            report.assert_safe();
+            assert!(
+                report.fcfs_check.is_ok(),
+                "seed {seed}: {:?}",
+                report.fcfs_check
+            );
+            assert_eq!(report.total_entered(), 5, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn aborters_abort_and_others_still_enter() {
+        let (lock, cs, mem) = one_shot(4, 2);
+        let spec = WorkloadSpec {
+            plans: vec![
+                ProcPlan::normal(1),
+                ProcPlan::aborter(1, 30),
+                ProcPlan::aborter(1, 30),
+                ProcPlan::normal(1),
+            ],
+            cs_ops: 3,
+            max_steps: 1_000_000,
+        };
+        let report = run_lock(&lock, &mem, cs, &spec, Box::new(RandomSchedule::seeded(9))).unwrap();
+        report.assert_safe();
+        // The two normal processes must get in; aborters may get in (if
+        // handed the lock early) or abort.
+        assert_eq!(report.outcomes[0].0, 1);
+        assert_eq!(report.outcomes[3].0, 1);
+        let total: usize = report.outcomes.iter().map(|o| o.0 + o.1).sum();
+        assert_eq!(total, 4, "every attempt resolves");
+    }
+
+    #[test]
+    fn per_passage_rmrs_are_recorded() {
+        let (lock, cs, mem) = one_shot(3, 2);
+        let spec = WorkloadSpec::uniform(3, 1);
+        let report = run_lock(&lock, &mem, cs, &spec, Box::new(RoundRobin::new())).unwrap();
+        assert_eq!(report.passages.len(), 3);
+        assert!(report.passages.iter().all(|p| p.rmrs > 0));
+        assert!(report.max_entered_rmrs() >= 1);
+        assert!(report.mean_entered_rmrs() > 0.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! # sal-runtime — deterministic execution harness for lock algorithms
+//!
+//! The paper's model (§2) is an asynchronous shared-memory system: an
+//! execution is a sequence of steps, each one process performing one
+//! atomic operation on a shared word. This crate realises that model
+//! executably:
+//!
+//! * [`StepGate`]/[`SteppedMem`] — every shared-memory operation becomes
+//!   a scheduling point; processes run on real threads but take steps one
+//!   at a time, in an order chosen by a [`SchedulePolicy`].
+//! * [`simulate`] — run `N` process bodies to completion under a policy,
+//!   with external abort-signal injection and a step-limit
+//!   livelock/starvation detector. Deterministic given the policy.
+//! * [`EventLog`] — step-stamped protocol events with post-hoc checkers
+//!   for mutual exclusion and FCFS.
+//! * [`run_lock`]/[`run_one_shot`] — a workload harness over any
+//!   [`sal_core::Lock`]: roles (normal / aborting), per-passage RMR
+//!   accounting, safety verdicts.
+//!
+//! ## Example: 4 processes race for the one-shot lock
+//!
+//! ```
+//! use sal_core::one_shot::OneShotLock;
+//! use sal_memory::MemoryBuilder;
+//! use sal_runtime::{run_lock, RandomSchedule, WorkloadSpec};
+//!
+//! let mut b = MemoryBuilder::new();
+//! let lock = OneShotLock::layout(&mut b, 4, 2);
+//! let cs = b.alloc(0);
+//! let mem = b.build_cc(4);
+//!
+//! let spec = WorkloadSpec::uniform(4, 1);
+//! let report = run_lock(&lock, &mem, cs, &spec,
+//!                       Box::new(RandomSchedule::seeded(1)))?;
+//! report.assert_safe();
+//! assert_eq!(report.total_entered(), 4);
+//! # Ok::<(), sal_runtime::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod events;
+mod explore;
+mod gate;
+mod harness;
+mod replay;
+mod schedule;
+mod sim;
+
+pub use events::{Event, EventKind, EventLog, FcfsViolation, MutexViolation};
+pub use explore::{explore, ExplorationResult, ExploreOptions, ForcedSchedule};
+pub use gate::{StepGate, SteppedMem};
+pub use harness::{
+    run_lock, run_one_shot, PassageStats, ProcPlan, Role, WorkloadReport, WorkloadSpec,
+};
+pub use replay::{ParseRecordingError, Recorder, Recording, RecordingHandle, Replay};
+pub use schedule::{
+    BurstySchedule, RandomSchedule, RoundRobin, SchedStatus, SchedulePolicy, Scripted,
+};
+pub use sim::{simulate, ProcCtx, SimError, SimOptions, SimReport};

@@ -1,0 +1,237 @@
+//! Schedule policies: who takes the next step.
+//!
+//! The paper's bounds are worst-case over *all* asynchronous schedules;
+//! the simulator drives algorithms with fair round-robin schedules (for
+//! starvation-freedom checks), seeded random schedules (statistical
+//! interleaving coverage), and scripted prefixes (to pin down specific
+//! races such as the crossed-paths scenarios of Figure 2).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sal_memory::Pid;
+
+/// View of the simulation the policy may consult.
+#[derive(Debug)]
+pub struct SchedStatus<'a> {
+    /// Which processes have finished.
+    pub finished: &'a [bool],
+    /// Steps granted so far.
+    pub step: u64,
+}
+
+impl SchedStatus<'_> {
+    /// Number of processes still running.
+    pub fn live(&self) -> usize {
+        self.finished.iter().filter(|&&f| !f).count()
+    }
+}
+
+/// Chooses which live process takes the next step.
+pub trait SchedulePolicy: Send {
+    /// Pick the next process; must return a pid with
+    /// `status.finished[pid] == false`. Called only while at least one
+    /// process is live.
+    fn next(&mut self, status: &SchedStatus<'_>) -> Pid;
+}
+
+/// Fair round-robin over live processes.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// New round-robin policy starting at process 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SchedulePolicy for RoundRobin {
+    fn next(&mut self, status: &SchedStatus<'_>) -> Pid {
+        let n = status.finished.len();
+        for _ in 0..n {
+            let p = self.cursor % n;
+            self.cursor += 1;
+            if !status.finished[p] {
+                return p;
+            }
+        }
+        unreachable!("next() called with no live process");
+    }
+}
+
+/// Uniformly random choice among live processes, from a seeded RNG —
+/// deterministic given the seed, fair with probability 1.
+#[derive(Debug)]
+pub struct RandomSchedule {
+    rng: StdRng,
+}
+
+impl RandomSchedule {
+    /// Random schedule from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        RandomSchedule {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SchedulePolicy for RandomSchedule {
+    fn next(&mut self, status: &SchedStatus<'_>) -> Pid {
+        let live: Vec<Pid> = (0..status.finished.len())
+            .filter(|&p| !status.finished[p])
+            .collect();
+        live[self.rng.random_range(0..live.len())]
+    }
+}
+
+/// A random schedule that *bursts*: it keeps scheduling the same process
+/// for a geometrically distributed run before switching. Long runs of one
+/// process are exactly what expose handoff races (e.g. an aborter
+/// completing `Remove` while an exiter is mid-`FindNext`).
+#[derive(Debug)]
+pub struct BurstySchedule {
+    rng: StdRng,
+    current: Option<Pid>,
+    continue_prob: f64,
+}
+
+impl BurstySchedule {
+    /// Bursty schedule from `seed`; after each step the current process
+    /// keeps running with probability `continue_prob`.
+    pub fn seeded(seed: u64, continue_prob: f64) -> Self {
+        assert!((0.0..1.0).contains(&continue_prob));
+        BurstySchedule {
+            rng: StdRng::seed_from_u64(seed),
+            current: None,
+            continue_prob,
+        }
+    }
+}
+
+impl SchedulePolicy for BurstySchedule {
+    fn next(&mut self, status: &SchedStatus<'_>) -> Pid {
+        if let Some(p) = self.current {
+            if !status.finished[p] && self.rng.random_bool(self.continue_prob) {
+                return p;
+            }
+        }
+        let live: Vec<Pid> = (0..status.finished.len())
+            .filter(|&p| !status.finished[p])
+            .collect();
+        let p = live[self.rng.random_range(0..live.len())];
+        self.current = Some(p);
+        p
+    }
+}
+
+/// Runs a scripted prefix of pids (skipping entries for finished
+/// processes), then falls back to another policy. Used to reproduce
+/// specific interleavings deterministically.
+pub struct Scripted {
+    script: std::vec::IntoIter<Pid>,
+    fallback: Box<dyn SchedulePolicy>,
+}
+
+impl std::fmt::Debug for Scripted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scripted").finish_non_exhaustive()
+    }
+}
+
+impl Scripted {
+    /// Play `script`, then delegate to `fallback`.
+    pub fn new(script: Vec<Pid>, fallback: Box<dyn SchedulePolicy>) -> Self {
+        Scripted {
+            script: script.into_iter(),
+            fallback,
+        }
+    }
+}
+
+impl SchedulePolicy for Scripted {
+    fn next(&mut self, status: &SchedStatus<'_>) -> Pid {
+        for p in self.script.by_ref() {
+            if !status.finished[p] {
+                return p;
+            }
+        }
+        self.fallback.next(status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(finished: &[bool]) -> SchedStatus<'_> {
+        SchedStatus { finished, step: 0 }
+    }
+
+    #[test]
+    fn round_robin_skips_finished() {
+        let mut rr = RoundRobin::new();
+        let fin = [false, true, false];
+        let picks: Vec<Pid> = (0..4).map(|_| rr.next(&status(&fin))).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic_per_seed() {
+        let fin = vec![false; 8];
+        let a: Vec<Pid> = {
+            let mut s = RandomSchedule::seeded(42);
+            (0..100).map(|_| s.next(&status(&fin))).collect()
+        };
+        let b: Vec<Pid> = {
+            let mut s = RandomSchedule::seeded(42);
+            (0..100).map(|_| s.next(&status(&fin))).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<Pid> = {
+            let mut s = RandomSchedule::seeded(43);
+            (0..100).map(|_| s.next(&status(&fin))).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_schedule_touches_everyone() {
+        let fin = vec![false; 4];
+        let mut s = RandomSchedule::seeded(7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.next(&status(&fin))] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bursty_schedule_produces_runs() {
+        let fin = vec![false; 4];
+        let mut s = BurstySchedule::seeded(1, 0.9);
+        let picks: Vec<Pid> = (0..200).map(|_| s.next(&status(&fin))).collect();
+        let runs = picks.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(runs > 100, "expected long runs, got {runs} repeats");
+    }
+
+    #[test]
+    fn scripted_prefix_then_fallback() {
+        let fin = [false, false];
+        let mut s = Scripted::new(vec![1, 1, 0], Box::new(RoundRobin::new()));
+        assert_eq!(s.next(&status(&fin)), 1);
+        assert_eq!(s.next(&status(&fin)), 1);
+        assert_eq!(s.next(&status(&fin)), 0);
+        // Fallback round-robin takes over.
+        assert_eq!(s.next(&status(&fin)), 0);
+        assert_eq!(s.next(&status(&fin)), 1);
+    }
+
+    #[test]
+    fn scripted_skips_finished_entries() {
+        let fin = [false, true];
+        let mut s = Scripted::new(vec![1, 1, 0], Box::new(RoundRobin::new()));
+        assert_eq!(s.next(&status(&fin)), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Property tests of the CC memory's RMR accounting against a naive
+//! reference implementation.
+//!
+//! `CcMemory` avoids `O(words × procs)` space with a per-word
+//! write-run trick (see `crates/memory/src/cc.rs`); this suite checks,
+//! op by op, that it charges *exactly* the same RMRs as the obvious
+//! model — a per-word set of processes holding a valid cached copy:
+//!
+//! * read by `p`: RMR iff `p ∉ valid(w)`; afterwards `p ∈ valid(w)`;
+//! * write-type by `p`: always an RMR; afterwards `valid(w)` loses
+//!   everyone but keeps `p`'s membership unchanged (only *another*
+//!   process's write invalidates `p`'s copy).
+
+use proptest::prelude::*;
+use sal_memory::{Mem, MemoryBuilder, Pid};
+use std::collections::HashSet;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Read(Pid, usize),
+    Write(Pid, usize, u64),
+    Cas(Pid, usize, u64, u64),
+    Faa(Pid, usize, u64),
+    Swap(Pid, usize, u64),
+}
+
+fn op_strategy(nprocs: usize, nwords: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..nprocs, 0..nwords).prop_map(|(p, w)| Op::Read(p, w)),
+        (0..nprocs, 0..nwords, 0..8u64).prop_map(|(p, w, v)| Op::Write(p, w, v)),
+        (0..nprocs, 0..nwords, 0..8u64, 0..8u64).prop_map(|(p, w, o, n)| Op::Cas(p, w, o, n)),
+        (0..nprocs, 0..nwords, 0..4u64).prop_map(|(p, w, v)| Op::Faa(p, w, v)),
+        (0..nprocs, 0..nwords, 0..8u64).prop_map(|(p, w, v)| Op::Swap(p, w, v)),
+    ]
+}
+
+/// The naive model: explicit valid-copy sets.
+struct NaiveCc {
+    values: Vec<u64>,
+    valid: Vec<HashSet<Pid>>,
+    rmrs: Vec<u64>,
+}
+
+impl NaiveCc {
+    fn new(nwords: usize, nprocs: usize) -> Self {
+        NaiveCc {
+            values: vec![0; nwords],
+            valid: vec![HashSet::new(); nwords],
+            rmrs: vec![0; nprocs],
+        }
+    }
+
+    fn read(&mut self, p: Pid, w: usize) -> u64 {
+        if !self.valid[w].contains(&p) {
+            self.rmrs[p] += 1;
+            self.valid[w].insert(p);
+        }
+        self.values[w]
+    }
+
+    fn write_type(&mut self, p: Pid, w: usize, f: impl FnOnce(&mut u64)) {
+        self.rmrs[p] += 1;
+        let keep = self.valid[w].contains(&p);
+        self.valid[w].clear();
+        if keep {
+            self.valid[w].insert(p);
+        }
+        f(&mut self.values[w]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn cc_memory_charges_exactly_like_the_naive_model(
+        ops in proptest::collection::vec(op_strategy(4, 3), 1..120),
+    ) {
+        let nprocs = 4;
+        let nwords = 3;
+        let mut b = MemoryBuilder::new();
+        let words: Vec<_> = (0..nwords).map(|_| b.alloc(0)).collect();
+        let mem = b.build_cc(nprocs);
+        let mut naive = NaiveCc::new(nwords, nprocs);
+
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Read(p, w) => {
+                    let got = mem.read(p, words[w]);
+                    let want = naive.read(p, w);
+                    prop_assert_eq!(got, want, "op {}: read value", i);
+                }
+                Op::Write(p, w, v) => {
+                    mem.write(p, words[w], v);
+                    naive.write_type(p, w, |cell| *cell = v);
+                }
+                Op::Cas(p, w, old, new) => {
+                    let got = mem.cas(p, words[w], old, new);
+                    let want = naive.values[w] == old;
+                    naive.write_type(p, w, |cell| {
+                        if *cell == old {
+                            *cell = new;
+                        }
+                    });
+                    prop_assert_eq!(got, want, "op {}: cas outcome", i);
+                }
+                Op::Faa(p, w, add) => {
+                    let got = mem.faa(p, words[w], add);
+                    let mut want = 0;
+                    naive.write_type(p, w, |cell| {
+                        want = *cell;
+                        *cell = cell.wrapping_add(add);
+                    });
+                    prop_assert_eq!(got, want, "op {}: faa previous", i);
+                }
+                Op::Swap(p, w, v) => {
+                    let got = mem.swap(p, words[w], v);
+                    let mut want = 0;
+                    naive.write_type(p, w, |cell| {
+                        want = std::mem::replace(cell, v);
+                    });
+                    prop_assert_eq!(got, want, "op {}: swap previous", i);
+                }
+            }
+            // The heart of the test: identical RMR charges after every op.
+            for p in 0..nprocs {
+                prop_assert_eq!(
+                    mem.rmrs(p),
+                    naive.rmrs[p],
+                    "op {}: rmr divergence for process {}", i, p
+                );
+            }
+        }
+    }
+
+    /// DSM charging: every non-home access is exactly one RMR.
+    #[test]
+    fn dsm_memory_charges_by_home(
+        homes in proptest::collection::vec(0usize..3, 1..6),
+        ops in proptest::collection::vec(op_strategy(3, 5), 1..80),
+    ) {
+        let nprocs = 3;
+        let mut b = MemoryBuilder::new();
+        let words: Vec<_> = homes.iter().map(|&h| b.alloc_at(h, 0)).collect();
+        let mem = b.build_dsm(nprocs);
+        let mut expected = vec![0u64; nprocs];
+        for op in &ops {
+            let (p, w) = match *op {
+                Op::Read(p, w) | Op::Write(p, w, _) | Op::Faa(p, w, _) | Op::Swap(p, w, _) => (p, w),
+                Op::Cas(p, w, _, _) => (p, w),
+            };
+            let w = w % words.len();
+            match *op {
+                Op::Read(..) => { mem.read(p, words[w]); }
+                Op::Write(_, _, v) => mem.write(p, words[w], v),
+                Op::Cas(_, _, o, n) => { mem.cas(p, words[w], o, n); }
+                Op::Faa(_, _, v) => { mem.faa(p, words[w], v); }
+                Op::Swap(_, _, v) => { mem.swap(p, words[w], v); }
+            }
+            if homes[w] != p {
+                expected[p] += 1;
+            }
+        }
+        for (p, want) in expected.iter().enumerate() {
+            prop_assert_eq!(mem.rmrs(p), *want);
+        }
+    }
+
+    /// The tracing wrapper is semantically transparent and its RMR
+    /// verdicts sum to the underlying counters.
+    #[test]
+    fn tracing_wrapper_is_transparent(
+        ops in proptest::collection::vec(op_strategy(3, 3), 1..60),
+    ) {
+        let mut b = MemoryBuilder::new();
+        let words: Vec<_> = (0..3).map(|_| b.alloc(0)).collect();
+        let mem = b.build_cc(3);
+        let traced = sal_memory::TracingMem::new(&mem);
+        for op in &ops {
+            match *op {
+                Op::Read(p, w) => { traced.read(p, words[w]); }
+                Op::Write(p, w, v) => traced.write(p, words[w], v),
+                Op::Cas(p, w, o, n) => { traced.cas(p, words[w], o, n); }
+                Op::Faa(p, w, v) => { traced.faa(p, words[w], v); }
+                Op::Swap(p, w, v) => { traced.swap(p, words[w], v); }
+            }
+        }
+        let remote_in_trace = traced.remote_entries().len() as u64;
+        prop_assert_eq!(remote_in_trace, mem.total_rmrs());
+        prop_assert_eq!(traced.len(), ops.len());
+    }
+}

@@ -1,0 +1,182 @@
+//! Executable complexity bounds: the RMR claims of Theorem 2, Claim 20,
+//! Claim 21 and Claim 28, checked as inequalities on measured counts.
+//! These are the paper's *theorems* as tests — generous constants, but
+//! the asymptotic shape is pinned: costs must track `log_B A` (not `N`),
+//! no-abort passages must be flat, and the long-lived wrapper must add
+//! only a constant.
+
+use sal_bench::{adaptive_sweep, no_abort_sweep, worst_case_sweep, LockKind};
+use sal_core::tree::{FindNextResult, Tree};
+use sal_memory::{Mem, MemoryBuilder, RmrProbe};
+
+fn log_b(b: usize, x: usize) -> u64 {
+    let mut h = 1u64;
+    let mut cap = b;
+    while cap < x {
+        cap *= b;
+        h += 1;
+    }
+    h
+}
+
+/// Abstract claim: "if no process aborts during a passage, its RMR cost
+/// is O(1)" — flat in N.
+#[test]
+fn no_abort_passages_are_constant_in_n() {
+    let mut costs = Vec::new();
+    for &n in &[8usize, 32, 128] {
+        let p = no_abort_sweep(LockKind::OneShot { b: 8 }, n, 1, 5).unwrap();
+        assert!(p.mutex_ok);
+        costs.push(p.max_entered_rmrs);
+    }
+    let max = *costs.iter().max().unwrap();
+    assert!(max <= 12, "no-abort passage not O(1): {costs:?}");
+    // And flat: N=128 costs no more than N=8 plus slack.
+    assert!(
+        costs[2] <= costs[0] + 3,
+        "no-abort cost grows with N: {costs:?}"
+    );
+}
+
+/// Theorem 2: a complete passage costs O(log_B A_i).
+#[test]
+fn complete_passage_tracks_log_b_of_aborters() {
+    let n = 128;
+    let b = 4;
+    for &a in &[0usize, 4, 16, 64, 126] {
+        let p = adaptive_sweep(LockKind::OneShot { b }, n, a, 9).unwrap();
+        assert!(p.mutex_ok);
+        let bound = 8 * log_b(b, a.max(2)) + 16;
+        assert!(
+            p.max_entered_rmrs <= bound,
+            "A={a}: {} RMRs exceeds c·log_{b}(A) = {bound}",
+            p.max_entered_rmrs
+        );
+    }
+}
+
+/// Theorem 2: an aborted attempt costs O(log_B A_t).
+#[test]
+fn aborted_attempt_tracks_log_b_of_total_aborters() {
+    let n = 128;
+    let b = 4;
+    for &a in &[1usize, 8, 32, 126] {
+        let p = adaptive_sweep(LockKind::OneShot { b }, n, a, 13).unwrap();
+        let bound = 8 * log_b(b, a.max(2)) + 16;
+        assert!(
+            p.max_aborted_rmrs <= bound,
+            "A={a}: aborted attempt cost {} exceeds {bound}",
+            p.max_aborted_rmrs
+        );
+    }
+}
+
+/// The worst case is O(log_B N) — and larger B genuinely flattens it
+/// (the time/space trade-off of §1).
+#[test]
+fn worst_case_flattens_with_branching_factor() {
+    let n = 128;
+    let narrow = worst_case_sweep(LockKind::OneShot { b: 2 }, n, 3).unwrap();
+    let wide = worst_case_sweep(LockKind::OneShot { b: 64 }, n, 3).unwrap();
+    assert!(narrow.mutex_ok && wide.mutex_ok);
+    assert!(
+        wide.max_entered_rmrs < narrow.max_entered_rmrs,
+        "B=64 ({}) should beat B=2 ({})",
+        wide.max_entered_rmrs,
+        narrow.max_entered_rmrs
+    );
+    assert!(
+        wide.max_entered_rmrs <= 14,
+        "B=64 at N=128 is the O(1) regime: {}",
+        wide.max_entered_rmrs
+    );
+}
+
+/// Claim 28: the long-lived wrapper preserves the one-shot cost up to a
+/// constant — including the lazy-reset overhead of recycled instances.
+#[test]
+fn long_lived_adds_only_a_constant() {
+    // "Constant" means independent of N, not small: the switching
+    // passage pays for lazy resets, the descriptor CAS, and the spin-pool
+    // scan step, but none of that may grow with the process count.
+    let small = no_abort_sweep(LockKind::LongLived { b: 8 }, 8, 3, 3).unwrap();
+    let large = no_abort_sweep(LockKind::LongLived { b: 8 }, 64, 3, 3).unwrap();
+    assert!(small.mutex_ok && large.mutex_ok);
+    assert!(
+        large.max_entered_rmrs <= small.max_entered_rmrs + 10,
+        "wrapper overhead grows with N: {} (N=8) vs {} (N=64)",
+        small.max_entered_rmrs,
+        large.max_entered_rmrs
+    );
+    // And it stays within a fixed multiple of the bare one-shot passage.
+    let one_shot = no_abort_sweep(LockKind::OneShot { b: 8 }, 16, 1, 3).unwrap();
+    assert!(
+        large.max_entered_rmrs <= one_shot.max_entered_rmrs * 6 + 10,
+        "wrapper blow-up: {} vs one-shot {}",
+        large.max_entered_rmrs,
+        one_shot.max_entered_rmrs
+    );
+}
+
+/// Claim 21 at the data-structure level: AdaptiveFindNext pays per
+/// *aborter*, the plain ascent pays per *tree height*.
+#[test]
+fn adaptive_ascent_beats_plain_at_subtree_boundaries() {
+    let n = 1 << 14;
+    let mut builder = MemoryBuilder::new();
+    let tree = Tree::layout(&mut builder, n, 2);
+    let mem = builder.build_cc(2);
+    let p = (n / 2 - 1) as u64;
+    let probe = RmrProbe::start(&mem, 0);
+    assert_eq!(tree.find_next(&mem, 0, p), FindNextResult::Next(p + 1));
+    let plain = probe.rmrs(&mem);
+    let probe = RmrProbe::start(&mem, 1);
+    assert_eq!(
+        tree.adaptive_find_next(&mem, 1, p),
+        FindNextResult::Next(p + 1)
+    );
+    let adaptive = probe.rmrs(&mem);
+    assert!(plain >= 14, "plain should climb the full height: {plain}");
+    assert!(
+        adaptive <= 3,
+        "adaptive should sidestep in O(1): {adaptive}"
+    );
+}
+
+/// Claim 20: Remove() costs O(log_B A_t) — measured cumulatively while
+/// the abort count grows.
+#[test]
+fn remove_cost_grows_logarithmically() {
+    let n = 1 << 12;
+    let b = 2;
+    let mut builder = MemoryBuilder::new();
+    let tree = Tree::layout(&mut builder, n, b);
+    let mem = builder.build_cc(1);
+    let mut worst = 0u64;
+    for q in 1..n as u64 {
+        let before = mem.total_rmrs();
+        tree.remove(&mem, 0, q);
+        worst = worst.max(mem.total_rmrs() - before);
+    }
+    // Height is 12; each Remove touches at most the height, and most
+    // touch far fewer.
+    assert!(worst <= 12, "Remove exceeded the height bound: {worst}");
+}
+
+/// Comparison shape of Table 1: at high abort counts our lock beats the
+/// O(log N) tournament, and both beat Scott's queue walk.
+#[test]
+fn table1_ordering_holds_at_high_abort_count() {
+    let n = 128;
+    let a = 126;
+    let ours = adaptive_sweep(LockKind::OneShot { b: 16 }, n, a, 21).unwrap();
+    let tournament = adaptive_sweep(LockKind::Tournament, n, a, 21).unwrap();
+    let scott = adaptive_sweep(LockKind::Scott, n, a, 21).unwrap();
+    assert!(ours.mutex_ok && tournament.mutex_ok && scott.mutex_ok);
+    assert!(
+        ours.max_entered_rmrs < scott.max_entered_rmrs,
+        "ours ({}) should beat scott ({}) under abort storms",
+        ours.max_entered_rmrs,
+        scott.max_entered_rmrs
+    );
+}

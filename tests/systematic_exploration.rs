@@ -1,0 +1,170 @@
+//! Systematic (bounded-deviation) exploration of the paper's locks:
+//! every schedule within the deviation budget must preserve mutual
+//! exclusion, resolve every attempt, and never lose a handoff. This is
+//! the strongest correctness evidence in the suite — thousands of
+//! *distinct* interleavings, not samples.
+
+use sal_core::long_lived::BoundedLongLivedLock;
+use sal_core::one_shot::OneShotLock;
+use sal_core::tree::Ascent;
+use sal_core::Lock;
+use sal_memory::{Mem, MemoryBuilder, SignalFn};
+use sal_runtime::{explore, simulate, EventKind, ExploreOptions, SimOptions};
+
+/// Drive the one-shot lock under one forced schedule; `aborter_delay[p]`
+/// = Some(steps) makes process `p` abort after that many global steps in
+/// `enter`.
+fn one_shot_run(
+    policy: sal_runtime::ForcedSchedule,
+    n: usize,
+    b: usize,
+    aborter_delay: &[Option<u64>],
+) -> Result<(), String> {
+    let mut builder = MemoryBuilder::new();
+    let lock = OneShotLock::layout_with(&mut builder, n, b, Ascent::Adaptive);
+    let cs = builder.alloc(0);
+    let mem = builder.build_cc(n);
+    let report = simulate(
+        &mem,
+        n,
+        Box::new(policy),
+        SimOptions {
+            max_steps: 100_000,
+            abort_plan: vec![],
+        },
+        |ctx| {
+            let entered = match aborter_delay[ctx.pid] {
+                None => Lock::enter(&lock, ctx.mem, ctx.pid, &sal_memory::NeverAbort),
+                Some(delay) => {
+                    let deadline = ctx.steps() + delay;
+                    let sig = SignalFn(|| ctx.steps() >= deadline);
+                    Lock::enter(&lock, ctx.mem, ctx.pid, &sig)
+                }
+            };
+            if entered {
+                ctx.event(EventKind::CsEnter);
+                ctx.mem.faa(ctx.pid, cs, 1);
+                ctx.event(EventKind::CsLeave);
+                Lock::exit(&lock, ctx.mem, ctx.pid);
+            } else {
+                ctx.event(EventKind::Aborted);
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    report
+        .log
+        .check_mutual_exclusion()
+        .map_err(|v| format!("mutual exclusion violated: {v:?}"))?;
+    let outcomes = report.log.outcomes(n);
+    let resolved: usize = outcomes.iter().map(|o| o.0 + o.1).sum();
+    if resolved != n {
+        return Err(format!("only {resolved}/{n} attempts resolved"));
+    }
+    let entered: usize = outcomes.iter().map(|o| o.0).sum();
+    if mem.read(0, cs) != entered as u64 {
+        return Err("CS counter inconsistent".into());
+    }
+    // Non-aborting processes must always enter (no lost handoff).
+    for (p, o) in outcomes.iter().enumerate() {
+        if aborter_delay[p].is_none() && o.0 != 1 {
+            return Err(format!("process {p} lost its handoff"));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn one_shot_three_processes_no_aborts() {
+    let delays = [None, None, None];
+    let result = explore(
+        &ExploreOptions {
+            max_deviations: 2,
+            max_runs: 4_000,
+            max_branch_depth: 60,
+        },
+        |policy| one_shot_run(policy, 3, 2, &delays),
+    );
+    result.assert_ok();
+    assert!(result.runs > 200, "explored only {} schedules", result.runs);
+}
+
+#[test]
+fn one_shot_with_an_impatient_aborter() {
+    // Process 1 aborts almost immediately — its Remove races every
+    // possible position of the others' FindNext.
+    let delays = [None, Some(2), None];
+    let result = explore(
+        &ExploreOptions {
+            max_deviations: 2,
+            max_runs: 4_000,
+            max_branch_depth: 60,
+        },
+        |policy| one_shot_run(policy, 3, 2, &delays),
+    );
+    result.assert_ok();
+    assert!(result.runs > 200);
+}
+
+#[test]
+fn one_shot_two_aborters_crossing_paths() {
+    let delays = [None, Some(1), Some(3), None];
+    let result = explore(
+        &ExploreOptions {
+            max_deviations: 1,
+            max_runs: 4_000,
+            max_branch_depth: 80,
+        },
+        |policy| one_shot_run(policy, 4, 2, &delays),
+    );
+    result.assert_ok();
+    assert!(result.runs > 40, "explored only {} schedules", result.runs);
+}
+
+#[test]
+fn long_lived_two_processes_two_passages() {
+    let result = explore(
+        &ExploreOptions {
+            max_deviations: 1,
+            max_runs: 3_000,
+            max_branch_depth: 120,
+        },
+        |policy| {
+            let n = 2;
+            let mut builder = MemoryBuilder::new();
+            let lock = BoundedLongLivedLock::layout(&mut builder, n, 2);
+            let cs = builder.alloc(0);
+            let mem = builder.build_cc(n);
+            let report = simulate(
+                &mem,
+                n,
+                Box::new(policy),
+                SimOptions {
+                    max_steps: 200_000,
+                    abort_plan: vec![],
+                },
+                |ctx| {
+                    for _ in 0..2 {
+                        let entered = Lock::enter(&lock, ctx.mem, ctx.pid, &sal_memory::NeverAbort);
+                        assert!(entered);
+                        ctx.event(EventKind::CsEnter);
+                        ctx.mem.faa(ctx.pid, cs, 1);
+                        ctx.event(EventKind::CsLeave);
+                        Lock::exit(&lock, ctx.mem, ctx.pid);
+                    }
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            report
+                .log
+                .check_mutual_exclusion()
+                .map_err(|v| format!("{v:?}"))?;
+            if mem.read(0, cs) != 4 {
+                return Err("missing passages".into());
+            }
+            Ok(())
+        },
+    );
+    result.assert_ok();
+    assert!(result.runs > 100, "explored only {} schedules", result.runs);
+}
