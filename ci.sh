@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo CI gate: release build, full test suite, and lint-clean clippy.
+# Run from the repo root. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings

@@ -22,8 +22,9 @@
 //! the protocol minimal — the RMR profile, which is what Table 1
 //! compares, is unaffected.
 
-use sal_core::Lock;
+use sal_core::{AbortableLock, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
+use sal_obs::{Probe, ProbedMem};
 use std::sync::Mutex;
 
 const PENDING: u64 = 0;
@@ -105,17 +106,25 @@ impl LeeLock {
     }
 }
 
-impl Lock for LeeLock {
+impl<P: Probe + ?Sized> AbortableLock<P> for LeeLock {
     fn name(&self) -> String {
         "lee".into()
     }
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal) -> bool {
-        self.acquire(mem, p, signal)
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+        probe.enter_begin(p);
+        if self.acquire(&ProbedMem::new(mem, probe), p, signal) {
+            probe.enter_end(p, None);
+            Outcome::Entered { ticket: None }
+        } else {
+            probe.abort(p, None);
+            Outcome::Aborted { ticket: None }
+        }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid) {
-        self.release(mem, p);
+    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+        self.release(&ProbedMem::new(mem, probe), p);
+        probe.cs_exit(p);
     }
 }
 

@@ -2,8 +2,9 @@
 //!
 //! Every lock the paper compares against (and the classic non-abortable
 //! locks used for context), implemented over the same [`sal_memory::Mem`]
-//! primitive set and the same [`sal_core::Lock`] interface as the paper's
-//! algorithm, so the Table-1 benchmarks can drive them interchangeably:
+//! primitive set and the same [`sal_core::AbortableLock`] interface as
+//! the paper's algorithm, so the Table-1 benchmarks can drive them
+//! interchangeably (and observe them through any [`sal_obs::Probe`]):
 //!
 //! | Module | Table-1 row | Primitives | RMR profile |
 //! |---|---|---|---|

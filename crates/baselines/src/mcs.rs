@@ -3,8 +3,9 @@
 //! extra primitives (SWAP) beat the `Ω(log N)` lower bound for plain
 //! mutual exclusion.
 
-use sal_core::Lock;
+use sal_core::{AbortableLock, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
+use sal_obs::{Probe, ProbedMem};
 
 /// Encoding of queue-node pointers: `0` is nil, `p + 1` is process `p`'s
 /// node.
@@ -61,7 +62,7 @@ impl McsLock {
     }
 }
 
-impl Lock for McsLock {
+impl<P: Probe + ?Sized> AbortableLock<P> for McsLock {
     fn name(&self) -> String {
         "mcs".into()
     }
@@ -70,13 +71,16 @@ impl Lock for McsLock {
         false
     }
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, _signal: &dyn AbortSignal) -> bool {
-        self.acquire(mem, p);
-        true
+    fn enter(&self, mem: &dyn Mem, p: Pid, _signal: &dyn AbortSignal, probe: &P) -> Outcome {
+        probe.enter_begin(p);
+        self.acquire(&ProbedMem::new(mem, probe), p);
+        probe.enter_end(p, None);
+        Outcome::Entered { ticket: None }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid) {
-        self.release(mem, p);
+    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+        self.release(&ProbedMem::new(mem, probe), p);
+        probe.cs_exit(p);
     }
 }
 
@@ -138,9 +142,9 @@ mod tests {
     #[test]
     fn lock_trait_reports_not_abortable() {
         let (lock, _, mem) = build(1);
-        let l: &dyn Lock = &lock;
+        let l: &dyn AbortableLock = &lock;
         assert!(!l.is_abortable());
-        assert!(l.enter(&mem, 0, &NeverAbort));
-        l.exit(&mem, 0);
+        assert!(l.enter(&mem, 0, &NeverAbort, &sal_obs::NoProbe).entered());
+        l.exit(&mem, 0, &sal_obs::NoProbe);
     }
 }

@@ -19,8 +19,9 @@
 //! additionally reclaims nodes; ours deliberately leaks them to exhibit
 //! the "unbounded space" row honestly.
 
-use sal_core::Lock;
+use sal_core::{AbortableLock, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
+use sal_obs::{Probe, ProbedMem};
 use std::sync::Mutex;
 
 const WAITING: u64 = 0;
@@ -104,17 +105,25 @@ impl ScottLock {
     }
 }
 
-impl Lock for ScottLock {
+impl<P: Probe + ?Sized> AbortableLock<P> for ScottLock {
     fn name(&self) -> String {
         "scott".into()
     }
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal) -> bool {
-        self.acquire(mem, p, signal)
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+        probe.enter_begin(p);
+        if self.acquire(&ProbedMem::new(mem, probe), p, signal) {
+            probe.enter_end(p, None);
+            Outcome::Entered { ticket: None }
+        } else {
+            probe.abort(p, None);
+            Outcome::Aborted { ticket: None }
+        }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid) {
-        self.release(mem, p);
+    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+        self.release(&ProbedMem::new(mem, probe), p);
+        probe.cs_exit(p);
     }
 }
 

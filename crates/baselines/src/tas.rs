@@ -3,8 +3,9 @@
 //! degenerate corner of the abortable-lock design space: Table 1 is the
 //! story of doing better than this without giving up abortability.
 
-use sal_core::Lock;
+use sal_core::{AbortableLock, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordId};
+use sal_obs::{Probe, ProbedMem};
 
 /// CAS-based test-and-test-and-set lock.
 #[derive(Clone, Debug)]
@@ -41,17 +42,25 @@ impl TasLock {
     }
 }
 
-impl Lock for TasLock {
+impl<P: Probe + ?Sized> AbortableLock<P> for TasLock {
     fn name(&self) -> String {
         "tas".into()
     }
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal) -> bool {
-        self.acquire(mem, p, signal)
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+        probe.enter_begin(p);
+        if self.acquire(&ProbedMem::new(mem, probe), p, signal) {
+            probe.enter_end(p, None);
+            Outcome::Entered { ticket: None }
+        } else {
+            probe.abort(p, None);
+            Outcome::Aborted { ticket: None }
+        }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid) {
-        self.release(mem, p);
+    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+        self.release(&ProbedMem::new(mem, probe), p);
+        probe.cs_exit(p);
     }
 }
 

@@ -4,8 +4,9 @@
 //! the "F&A alone does not give you O(1)" contrast to MCS and the
 //! paper's lock.
 
-use sal_core::Lock;
+use sal_core::{AbortableLock, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordId};
+use sal_obs::{Probe, ProbedMem};
 
 /// Classic ticket lock: `next_ticket` (F&A doorway) and `now_serving`
 /// (shared spin word). Not abortable — a ticket, once taken, must be
@@ -37,7 +38,7 @@ impl TicketLock {
     }
 }
 
-impl Lock for TicketLock {
+impl<P: Probe + ?Sized> AbortableLock<P> for TicketLock {
     fn name(&self) -> String {
         "ticket".into()
     }
@@ -46,13 +47,20 @@ impl Lock for TicketLock {
         false
     }
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, _signal: &dyn AbortSignal) -> bool {
-        self.acquire(mem, p);
-        true
+    fn enter(&self, mem: &dyn Mem, p: Pid, _signal: &dyn AbortSignal, probe: &P) -> Outcome {
+        probe.enter_begin(p);
+        // Inlined acquire so the F&A doorway ticket can be reported —
+        // the ticket lock is FCFS and the probe layer can check it.
+        let pm = ProbedMem::new(mem, probe);
+        let t = pm.faa(p, self.next_ticket, 1);
+        while pm.read(p, self.now_serving) != t {}
+        probe.enter_end(p, Some(t));
+        Outcome::Entered { ticket: Some(t) }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid) {
-        self.release(mem, p);
+    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+        self.release(&ProbedMem::new(mem, probe), p);
+        probe.cs_exit(p);
     }
 }
 

@@ -18,8 +18,9 @@
 //! reproduce that structure — Table 1's "worst-case" and "no-abort"
 //! columns, which the benchmarks regenerate, are unaffected.
 
-use sal_core::Lock;
+use sal_core::{AbortableLock, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray};
+use sal_obs::{Probe, ProbedMem};
 
 /// The abortable Peterson-tournament lock. Long-lived, starvation-free
 /// (each Peterson node has bounded bypass), abortable at any point of the
@@ -115,17 +116,25 @@ impl TournamentLock {
     }
 }
 
-impl Lock for TournamentLock {
+impl<P: Probe + ?Sized> AbortableLock<P> for TournamentLock {
     fn name(&self) -> String {
         "tournament".into()
     }
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal) -> bool {
-        self.acquire(mem, p, signal)
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+        probe.enter_begin(p);
+        if self.acquire(&ProbedMem::new(mem, probe), p, signal) {
+            probe.enter_end(p, None);
+            Outcome::Entered { ticket: None }
+        } else {
+            probe.abort(p, None);
+            Outcome::Aborted { ticket: None }
+        }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid) {
-        self.release(mem, p);
+    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+        self.release(&ProbedMem::new(mem, probe), p);
+        probe.cs_exit(p);
     }
 }
 

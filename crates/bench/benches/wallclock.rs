@@ -1,11 +1,14 @@
-//! W1 — wall-clock sanity benches (Criterion).
+//! W1 — wall-clock sanity benches (plain harness, no external deps).
 //!
 //! The paper's claims are about RMRs, not nanoseconds; these benches
 //! exist to show the real-atomics build (`sal-sync`) is a usable lock:
 //! uncontended latency in the same league as `std::sync::Mutex`, graceful
 //! behaviour under contention, and cheap failed try-locks.
+//!
+//! ```text
+//! cargo bench -p sal-bench
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sal_baselines::McsLock;
 use sal_memory::{Mem, MemoryBuilder, NeverAbort};
 use sal_sync::AbortableMutex;
@@ -13,133 +16,137 @@ use std::hint::black_box;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-fn uncontended(c: &mut Criterion) {
-    let mut group = c.benchmark_group("uncontended_lock_unlock");
+/// Time `iters` runs of `body`, returning mean nanoseconds per iteration.
+fn time_ns(iters: u64, mut body: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        body();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
 
-    group.bench_function("abortable_mutex", |bench| {
+/// Run a benchmark: short warm-up, then a measured pass, one report line.
+fn bench(name: &str, iters: u64, mut body: impl FnMut()) {
+    time_ns(iters / 10 + 1, &mut body);
+    let ns = time_ns(iters, &mut body);
+    println!("{name:<40} {ns:>10.1} ns/iter  ({iters} iters)");
+}
+
+fn uncontended() {
+    println!("\n== uncontended_lock_unlock ==");
+    let iters = 1_000_000;
+
+    {
         let m = AbortableMutex::with_capacity(0u64, 2);
         let mut h = m.handle();
-        bench.iter(|| {
+        bench("abortable_mutex", iters, || {
             *h.lock() += 1;
         });
-    });
+    }
 
-    group.bench_function("std_mutex", |bench| {
+    {
         let m = Mutex::new(0u64);
-        bench.iter(|| {
+        bench("std_mutex", iters, || {
             *m.lock().unwrap() += 1;
         });
-    });
+    }
 
-    group.bench_function("mcs_raw", |bench| {
+    {
         let mut b = MemoryBuilder::new();
         let lock = McsLock::layout(&mut b, 2);
         let w = b.alloc(0);
         let mem = b.build_raw(2);
-        bench.iter(|| {
+        bench("mcs_raw", iters, || {
             lock.acquire(&mem, 0);
             mem.write(0, w, black_box(mem.read(0, w) + 1));
             lock.release(&mem, 0);
         });
-    });
-
-    group.finish();
-}
-
-fn contended(c: &mut Criterion) {
-    let mut group = c.benchmark_group("contended_increments");
-    group.sample_size(10);
-    for &threads in &[2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("abortable_mutex", threads),
-            &threads,
-            |bench, &threads| {
-                bench.iter_custom(|iters| {
-                    let per_thread = (iters as usize).max(1);
-                    let m = Arc::new(AbortableMutex::with_capacity(0u64, threads));
-                    let start = Instant::now();
-                    std::thread::scope(|s| {
-                        for _ in 0..threads {
-                            let m = Arc::clone(&m);
-                            s.spawn(move || {
-                                let mut h = m.handle();
-                                for _ in 0..per_thread {
-                                    *h.lock() += 1;
-                                }
-                            });
-                        }
-                    });
-                    start.elapsed() / threads as u32
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("std_mutex", threads),
-            &threads,
-            |bench, &threads| {
-                bench.iter_custom(|iters| {
-                    let per_thread = (iters as usize).max(1);
-                    let m = Arc::new(Mutex::new(0u64));
-                    let start = Instant::now();
-                    std::thread::scope(|s| {
-                        for _ in 0..threads {
-                            let m = Arc::clone(&m);
-                            s.spawn(move || {
-                                for _ in 0..per_thread {
-                                    *m.lock().unwrap() += 1;
-                                }
-                            });
-                        }
-                    });
-                    start.elapsed() / threads as u32
-                });
-            },
-        );
     }
-    group.finish();
 }
 
-fn abort_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("abort_paths");
+fn contended() {
+    println!("\n== contended_increments (ns per increment) ==");
+    let per_thread = 200_000u64;
+    for &threads in &[2usize, 4, 8] {
+        {
+            let m = Arc::new(AbortableMutex::with_capacity(0u64, threads));
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let m = Arc::clone(&m);
+                    s.spawn(move || {
+                        let mut h = m.handle();
+                        for _ in 0..per_thread {
+                            *h.lock() += 1;
+                        }
+                    });
+                }
+            });
+            let ns = start.elapsed().as_nanos() as f64 / (per_thread * threads as u64) as f64;
+            println!("abortable_mutex/{threads:<2} {ns:>10.1} ns/op");
+        }
+        {
+            let m = Arc::new(Mutex::new(0u64));
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let m = Arc::clone(&m);
+                    s.spawn(move || {
+                        for _ in 0..per_thread {
+                            *m.lock().unwrap() += 1;
+                        }
+                    });
+                }
+            });
+            let ns = start.elapsed().as_nanos() as f64 / (per_thread * threads as u64) as f64;
+            println!("std_mutex/{threads:<2}       {ns:>10.1} ns/op");
+        }
+    }
+}
+
+fn abort_paths() {
+    println!("\n== abort_paths ==");
+    let iters = 1_000_000;
 
     // Failed try-lock while another handle holds the lock: the paper's
     // bounded-abort property as wall-clock.
-    group.bench_function("failed_try_lock", |bench| {
+    {
         let m = AbortableMutex::with_capacity(0u64, 2);
         let mut holder = m.handle();
         let mut waiter = m.handle();
         let g = holder.lock();
-        bench.iter(|| {
+        bench("failed_try_lock", iters, || {
             assert!(black_box(waiter.try_lock()).is_none());
         });
         drop(g);
-    });
+    }
 
     // Expired-deadline acquisition attempt on a held lock.
-    group.bench_function("expired_deadline_try", |bench| {
+    {
         let m = AbortableMutex::with_capacity(0u64, 2);
         let mut holder = m.handle();
         let mut waiter = m.handle();
         let g = holder.lock();
         let past = Instant::now() - Duration::from_millis(1);
-        bench.iter(|| {
+        bench("expired_deadline_try", iters, || {
             assert!(black_box(waiter.try_lock_until(past)).is_none());
         });
         drop(g);
-    });
+    }
 
     // Uncontended abortable acquisition (signal never fires).
-    group.bench_function("abortable_enter_no_signal", |bench| {
+    {
         let m = AbortableMutex::with_capacity(0u64, 2);
         let mut h = m.handle();
-        bench.iter(|| {
+        bench("abortable_enter_no_signal", iters, || {
             let g = h.lock_abortable(&NeverAbort).unwrap();
             drop(g);
         });
-    });
-
-    group.finish();
+    }
 }
 
-criterion_group!(benches, uncontended, contended, abort_paths);
-criterion_main!(benches);
+fn main() {
+    uncontended();
+    contended();
+    abort_paths();
+}

@@ -152,7 +152,7 @@ fn dsm() {
 /// iteration (the slot is remote), while the DSM variant's local spin
 /// bit is free — the gap grows linearly with how long the wait lasts.
 fn dsm_spin() {
-    use sal_core::Lock;
+    use sal_core::AbortableLock;
     use sal_runtime::{simulate, RoundRobin, SimOptions};
 
     let mut table = Table::new(
@@ -168,7 +168,7 @@ fn dsm_spin() {
         let mut row = vec![hold.to_string()];
         for dsm_variant in [false, true] {
             let mut b = MemoryBuilder::new();
-            let lock: Box<dyn Lock> = if dsm_variant {
+            let lock: Box<dyn AbortableLock> = if dsm_variant {
                 Box::new(DsmOneShotLock::layout(&mut b, 2, 4))
             } else {
                 Box::new(sal_core::one_shot::OneShotLock::layout(&mut b, 2, 4))
@@ -185,13 +185,16 @@ fn dsm_spin() {
                 Box::new(RoundRobin::new()),
                 SimOptions::default(),
                 |ctx| {
-                    assert!(lock.enter(ctx.mem, ctx.pid, &sal_memory::NeverAbort));
+                    let probe = sal_obs::NoProbe;
+                    assert!(lock
+                        .enter(ctx.mem, ctx.pid, &sal_memory::NeverAbort, &probe)
+                        .entered());
                     if ctx.pid == 0 {
                         for _ in 0..hold {
                             ctx.mem.read(0, owner_pad); // home-local, free
                         }
                     }
-                    lock.exit(ctx.mem, ctx.pid);
+                    lock.exit(ctx.mem, ctx.pid, &probe);
                 },
             )
             .expect("sim failed");

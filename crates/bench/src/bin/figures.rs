@@ -14,10 +14,10 @@
 //!   bounded implementation, cost per passage across many instance
 //!   switches.
 
-use sal_bench::report::save_json;
-use sal_bench::{no_abort_sweep, worst_case_sweep, LockKind, Table};
+use sal_bench::{export_events, no_abort_sweep, save_json, worst_case_sweep, LockKind, Table};
 use sal_core::tree::{FindNextResult, Tree};
 use sal_memory::{MemoryBuilder, RmrProbe};
+use sal_obs::{EventLog, ObsEventKind};
 
 /// E6: walk a live tree through the three Figure-2 scenarios.
 fn fig2() {
@@ -226,9 +226,13 @@ fn logw() {
 fn fig5() {
     let mut table = Table::new(
         "E7 — Figure 5: long-lived lock across instance switches (N = 8, 8 passages each, 2 aborters)",
-        &["implementation", "max RMRs/passage", "mean RMRs/passage", "steps", "safe"],
+        &["implementation", "max RMRs/passage", "mean RMRs/passage", "switches", "steps", "safe"],
     );
     let mut points = Vec::new();
+    // Shared log for the JSONL export; a per-kind log counts each
+    // implementation's instance-switch notes. Both observe the same run
+    // through an owned `(A, B)` probe pair.
+    let log = EventLog::new(1 << 16);
     for kind in [
         LockKind::LongLivedSimple { b: 16 },
         LockKind::LongLived { b: 16 },
@@ -241,18 +245,26 @@ fn fig5() {
             cs_ops: 2,
             max_steps: 60_000_000,
         };
-        let report = sal_runtime::run_lock(
+        let kind_log = EventLog::new(1 << 16);
+        let report = sal_runtime::run_lock_probed(
             &*built.lock,
             &built.mem,
             built.cs_word,
             &spec,
             Box::new(sal_runtime::RandomSchedule::seeded(5)),
+            (log.clone(), kind_log.clone()),
         )
         .expect("sim failed");
+        let switches = kind_log
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, ObsEventKind::Note("instance-switch", _)))
+            .count();
         table.row(vec![
             kind.label(),
             report.max_entered_rmrs().to_string(),
             format!("{:.1}", report.mean_entered_rmrs()),
+            switches.to_string(),
             report.steps.to_string(),
             report.mutex_check.is_ok().to_string(),
         ]);
@@ -260,6 +272,7 @@ fn fig5() {
             kind.label(),
             report.max_entered_rmrs(),
             report.mean_entered_rmrs(),
+            switches,
         ));
     }
     table.print();
@@ -277,6 +290,7 @@ fn fig5() {
         p.max_entered_rmrs
     );
     save_json("fig5_long_lived", &points);
+    export_events(&log, "fig5_events");
 }
 
 fn main() {

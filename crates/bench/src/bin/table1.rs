@@ -9,8 +9,11 @@
 //! exact RMR counts under the paper's CC cost model (§2), measured by
 //! `sal-memory`, with schedules driven by `sal-runtime`.
 
-use sal_bench::report::save_json;
-use sal_bench::{adaptive_sweep, no_abort_sweep, space_row, worst_case_sweep, LockKind, Table};
+use sal_bench::{
+    adaptive_sweep_probed, export_events, no_abort_sweep, no_abort_sweep_probed, save_json,
+    space_row, worst_case_sweep, LockKind, Table,
+};
+use sal_obs::EventLog;
 use sal_runtime::{run_one_shot, ProcPlan, RandomSchedule, WorkloadSpec};
 
 const B: usize = 16; // branching factor for "our" locks in the comparison
@@ -52,11 +55,13 @@ fn no_abort() {
     let mut kinds = LockKind::table1_rows(B);
     kinds.push(LockKind::Mcs); // the classic O(1) yardstick
     let mut points = Vec::new();
+    // Every run also feeds a shared event log for the JSONL export.
+    let log = EventLog::new(1 << 16);
     for kind in kinds {
         let mut cells = vec![kind.label()];
         for &n in &ns {
             let passages = if kind.one_shot() { 1 } else { 2 };
-            let p = no_abort_sweep(kind, n, passages, 7).expect("sim failed");
+            let p = no_abort_sweep_probed(kind, n, passages, 7, log.clone()).expect("sim failed");
             assert!(p.mutex_ok, "{} violated mutual exclusion", p.lock);
             cells.push(p.max_entered_rmrs.to_string());
             points.push(p);
@@ -96,6 +101,7 @@ fn no_abort() {
         );
     }
     save_json("table1_no_abort", &points);
+    export_events(&log, "table1_no_abort_events");
 }
 
 /// E3: Table 1 "Adaptive bound" column — fixed N, sweep the number of
@@ -108,10 +114,11 @@ fn adaptive() {
         &["lock", "A=0", "A=1", "A=4", "A=16", "A=64", "A=254"],
     );
     let mut points = Vec::new();
+    let log = EventLog::new(1 << 16);
     for kind in LockKind::table1_rows(B) {
         let mut cells = vec![kind.label()];
         for &a in &aborters {
-            let p = adaptive_sweep(kind, n, a, 11).expect("sim failed");
+            let p = adaptive_sweep_probed(kind, n, a, 11, log.clone()).expect("sim failed");
             assert!(p.mutex_ok, "{} violated mutual exclusion", p.lock);
             cells.push(p.max_entered_rmrs.to_string());
             points.push(p);
@@ -124,6 +131,7 @@ fn adaptive() {
          pinned at log2 N regardless; scott tracks A; lee grows fastest."
     );
     save_json("table1_adaptive", &points);
+    export_events(&log, "table1_adaptive_events");
 }
 
 /// E8: Table 1 "Space" column — measured shared words vs N.

@@ -22,5 +22,8 @@ pub mod report;
 pub mod workloads;
 
 pub use registry::{build_lock, LockKind};
-pub use report::{RmrSummary, Table};
-pub use workloads::{adaptive_sweep, no_abort_sweep, space_row, worst_case_sweep, SweepPoint};
+pub use report::{export_events, save_json, RmrSummary, Table};
+pub use workloads::{
+    adaptive_sweep, adaptive_sweep_probed, no_abort_sweep, no_abort_sweep_probed, space_row,
+    worst_case_sweep, worst_case_sweep_probed, SweepPoint,
+};

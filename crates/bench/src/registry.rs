@@ -4,7 +4,7 @@ use sal_baselines::{LeeLock, McsLock, ScottLock, TasLock, TicketLock, Tournament
 use sal_core::long_lived::{BoundedLongLivedLock, SimpleLongLivedLock};
 use sal_core::one_shot::{DsmOneShotLock, OneShotLock};
 use sal_core::tree::Ascent;
-use sal_core::Lock;
+use sal_core::AbortableLock;
 use sal_memory::{CcMemory, MemoryBuilder, WordId};
 
 /// Every lock the experiments can drive. `b` is the tree branching
@@ -96,8 +96,8 @@ impl LockKind {
 
 /// A built lock plus the memory and scratch word the harness needs.
 pub struct BuiltLock {
-    /// The lock, behind the uniform trait.
-    pub lock: Box<dyn Lock>,
+    /// The lock, behind the uniform [`AbortableLock`] surface.
+    pub lock: Box<dyn AbortableLock>,
     /// CC memory holding the lock's words.
     pub mem: CcMemory,
     /// Scratch word the CS body hammers.
@@ -119,7 +119,7 @@ impl std::fmt::Debug for BuiltLock {
 /// long-lived lock).
 pub fn build_lock(kind: LockKind, n: usize, attempts: usize) -> BuiltLock {
     let mut b = MemoryBuilder::new();
-    let lock: Box<dyn Lock> = match kind {
+    let lock: Box<dyn AbortableLock> = match kind {
         LockKind::OneShot { b: w } => Box::new(OneShotLock::layout(&mut b, n, w)),
         LockKind::OneShotPlain { b: w } => {
             Box::new(OneShotLock::layout_with(&mut b, n, w, Ascent::Plain))
@@ -168,8 +168,11 @@ mod tests {
         ];
         for kind in kinds {
             let built = build_lock(kind, 4, 16);
-            assert!(built.lock.enter(&built.mem, 0, &NeverAbort), "{kind:?}");
-            built.lock.exit(&built.mem, 0);
+            let outcome = built
+                .lock
+                .enter(&built.mem, 0, &NeverAbort, &sal_obs::NoProbe);
+            assert!(outcome.entered(), "{kind:?}");
+            built.lock.exit(&built.mem, 0, &sal_obs::NoProbe);
             assert!(built.words > 0);
             assert!(!kind.label().is_empty());
         }

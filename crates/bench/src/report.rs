@@ -1,6 +1,6 @@
 //! Plain-text table rendering and JSON result persistence.
 
-use serde::Serialize;
+use sal_obs::{Json, ToJson};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -66,7 +66,7 @@ impl Table {
 
 /// Summary statistics over a set of per-passage RMR counts: the
 /// distributional view the sweep CLI prints alongside the max.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RmrSummary {
     /// Number of samples.
     pub count: usize,
@@ -113,25 +113,57 @@ impl RmrSummary {
     }
 }
 
-/// Persist any serializable experiment result as JSON under
+impl ToJson for RmrSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Int(self.count as i64)),
+            ("min", self.min.to_json()),
+            ("p50", self.p50.to_json()),
+            ("p95", self.p95.to_json()),
+            ("max", self.max.to_json()),
+            ("mean", self.mean.to_json()),
+        ])
+    }
+}
+
+/// Persist any [`ToJson`] experiment result as JSON under
 /// `target/experiments/<name>.json` (best-effort; failures are printed,
 /// not fatal — the text output is the primary artifact).
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
+pub fn save_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let dir = Path::new("target/experiments");
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("(could not create {dir:?}: {e})");
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("(could not write {path:?}: {e})");
-            } else {
-                println!("(saved {})", path.display());
+    if let Err(e) = std::fs::write(&path, value.to_json().render()) {
+        eprintln!("(could not write {path:?}: {e})");
+    } else {
+        println!("(saved {})", path.display());
+    }
+}
+
+/// Export an [`EventLog`](sal_obs::EventLog) as JSONL under
+/// `target/experiments/<name>.jsonl` and verify the file parses back to
+/// the same events — the replay-schema contract the exports promise.
+pub fn export_events(log: &sal_obs::EventLog, name: &str) {
+    match log.export_jsonl(name) {
+        Ok(path) => {
+            let round_trip = std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| sal_obs::EventLog::parse_jsonl(&text));
+            match round_trip {
+                Ok(parsed) if parsed == log.events() => println!(
+                    "(saved {} — {} events, {} dropped, replay round-trip ok)",
+                    path.display(),
+                    parsed.len(),
+                    log.dropped()
+                ),
+                Ok(_) => eprintln!("(export {name}: replay round-trip mismatch)"),
+                Err(e) => eprintln!("(export {name}: replay parse failed: {e})"),
             }
         }
-        Err(e) => eprintln!("(serialize {name}: {e})"),
+        Err(e) => eprintln!("(could not export {name}: {e})"),
     }
 }
 

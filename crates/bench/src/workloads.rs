@@ -1,11 +1,16 @@
 //! The workload builders behind every Table-1 column.
 
 use crate::registry::{build_lock, LockKind};
-use sal_runtime::{run_lock, run_one_shot, ProcPlan, RandomSchedule, SimError, WorkloadSpec};
-use serde::Serialize;
+use sal_obs::{Json, NoProbe, Probe, ToJson};
+use sal_runtime::{
+    run_lock_probed, run_one_shot_probed, ProcPlan, RandomSchedule, SimError, WorkloadSpec,
+};
 
 /// One measured point of a sweep (a lock at one `(N, A)` configuration).
-#[derive(Debug, Clone, Serialize)]
+///
+/// Every RMR figure comes from the run's [`sal_obs::PassageStats`] sink —
+/// the sweep layer reads the probe, never the raw memory counters.
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Lock label.
     pub lock: String,
@@ -19,6 +24,10 @@ pub struct SweepPoint {
     pub mean_entered_rmrs: f64,
     /// Maximum RMRs over aborted attempts.
     pub max_aborted_rmrs: u64,
+    /// 99th-percentile RMRs over entered passages.
+    pub p99_entered_rmrs: u64,
+    /// Total RMRs over all passages divided by total passages.
+    pub amortized_rmrs: f64,
     /// Total shared-memory steps of the run.
     pub steps: u64,
     /// Whether mutual exclusion held (it must).
@@ -27,11 +36,30 @@ pub struct SweepPoint {
     pub fcfs_ok: Option<bool>,
 }
 
+impl ToJson for SweepPoint {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("lock", self.lock.to_json()),
+            ("n", Json::Int(self.n as i64)),
+            ("aborters", Json::Int(self.aborters as i64)),
+            ("max_entered_rmrs", self.max_entered_rmrs.to_json()),
+            ("mean_entered_rmrs", self.mean_entered_rmrs.to_json()),
+            ("max_aborted_rmrs", self.max_aborted_rmrs.to_json()),
+            ("p99_entered_rmrs", self.p99_entered_rmrs.to_json()),
+            ("amortized_rmrs", self.amortized_rmrs.to_json()),
+            ("steps", self.steps.to_json()),
+            ("mutex_ok", self.mutex_ok.to_json()),
+            ("fcfs_ok", self.fcfs_ok.to_json()),
+        ])
+    }
+}
+
 fn run_point(
     kind: LockKind,
     n: usize,
     plans: Vec<ProcPlan>,
     seed: u64,
+    probe: impl Probe + 'static,
 ) -> Result<SweepPoint, SimError> {
     let attempts: usize = plans.iter().map(|p| p.passages).sum();
     let built = build_lock(kind, n, attempts);
@@ -46,29 +74,34 @@ fn run_point(
         .filter(|p| !matches!(p.role, sal_runtime::Role::Normal))
         .count();
     let report = if kind.one_shot() {
-        run_one_shot(
+        run_one_shot_probed(
             &*built.lock,
             &built.mem,
             built.cs_word,
             &spec,
             Box::new(RandomSchedule::seeded(seed)),
+            probe,
         )?
     } else {
-        run_lock(
+        run_lock_probed(
             &*built.lock,
             &built.mem,
             built.cs_word,
             &spec,
             Box::new(RandomSchedule::seeded(seed)),
+            probe,
         )?
     };
+    let summary = report.stats.summary();
     Ok(SweepPoint {
         lock: kind.label(),
         n,
         aborters,
-        max_entered_rmrs: report.max_entered_rmrs(),
-        mean_entered_rmrs: report.mean_entered_rmrs(),
-        max_aborted_rmrs: report.max_aborted_rmrs(),
+        max_entered_rmrs: summary.max_entered_rmrs,
+        mean_entered_rmrs: summary.mean_entered_rmrs,
+        max_aborted_rmrs: summary.max_aborted_rmrs,
+        p99_entered_rmrs: summary.p99_entered_rmrs,
+        amortized_rmrs: summary.amortized_rmrs,
         steps: report.steps,
         mutex_ok: report.mutex_check.is_ok(),
         fcfs_ok: if kind.one_shot() {
@@ -84,12 +117,23 @@ fn run_point(
 /// whole abandoned crowd. The abort deadline scales with `n` so aborters
 /// have taken their queue positions before giving up.
 pub fn worst_case_sweep(kind: LockKind, n: usize, seed: u64) -> Result<SweepPoint, SimError> {
+    worst_case_sweep_probed(kind, n, seed, NoProbe)
+}
+
+/// [`worst_case_sweep`] with an extra probe sink attached to the run
+/// (e.g. a clone of an [`sal_obs::EventLog`] for JSONL export).
+pub fn worst_case_sweep_probed(
+    kind: LockKind,
+    n: usize,
+    seed: u64,
+    probe: impl Probe + 'static,
+) -> Result<SweepPoint, SimError> {
     assert!(n >= 2);
     let wait = 8 * n as u64;
     let mut plans = vec![ProcPlan::normal(1)];
     plans.extend(vec![ProcPlan::aborter(1, wait); n - 2]);
     plans.push(ProcPlan::normal(1));
-    run_point(kind, n, plans, seed)
+    run_point(kind, n, plans, seed, probe)
 }
 
 /// Table 1, "No aborts" column (and the paper's headline `O(1)` claim,
@@ -100,7 +144,18 @@ pub fn no_abort_sweep(
     passages: usize,
     seed: u64,
 ) -> Result<SweepPoint, SimError> {
-    run_point(kind, n, vec![ProcPlan::normal(passages); n], seed)
+    no_abort_sweep_probed(kind, n, passages, seed, NoProbe)
+}
+
+/// [`no_abort_sweep`] with an extra probe sink attached to the run.
+pub fn no_abort_sweep_probed(
+    kind: LockKind,
+    n: usize,
+    passages: usize,
+    seed: u64,
+    probe: impl Probe + 'static,
+) -> Result<SweepPoint, SimError> {
+    run_point(kind, n, vec![ProcPlan::normal(passages); n], seed, probe)
 }
 
 /// Table 1, "Adaptive bound" column: fixed `n`, exactly `a` aborters.
@@ -111,12 +166,23 @@ pub fn adaptive_sweep(
     a: usize,
     seed: u64,
 ) -> Result<SweepPoint, SimError> {
+    adaptive_sweep_probed(kind, n, a, seed, NoProbe)
+}
+
+/// [`adaptive_sweep`] with an extra probe sink attached to the run.
+pub fn adaptive_sweep_probed(
+    kind: LockKind,
+    n: usize,
+    a: usize,
+    seed: u64,
+    probe: impl Probe + 'static,
+) -> Result<SweepPoint, SimError> {
     assert!(a + 2 <= n, "need at least two normal processes");
     let wait = 8 * n as u64;
     let mut plans = vec![ProcPlan::normal(1)];
     plans.extend(vec![ProcPlan::aborter(1, wait); a]);
     plans.extend(vec![ProcPlan::normal(1); n - 1 - a]);
-    run_point(kind, n, plans, seed)
+    run_point(kind, n, plans, seed, probe)
 }
 
 /// Table 1, "Space" column: shared words the layout allocates for `n`

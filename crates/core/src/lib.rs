@@ -46,4 +46,4 @@ pub mod long_lived;
 pub mod one_shot;
 pub mod tree;
 
-pub use lock::Lock;
+pub use lock::{AbortableLock, Outcome};

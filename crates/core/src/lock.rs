@@ -1,24 +1,91 @@
-//! A common object-safe interface over every lock in the workspace, so
-//! the runtime harness and the Table-1 benchmarks can drive the paper's
-//! locks and all baselines uniformly.
+//! The [`AbortableLock`] trait: one public interface over every lock in
+//! the workspace, with passage observability built in.
+//!
+//! The runtime harness, the Table-1 benchmarks and the sweep binaries
+//! all drive locks through this trait; `sal-baselines` and `sal-sync`
+//! implement it too, so one registry entry per lock suffices. This is
+//! the **stable surface** of the workspace: additions happen through
+//! defaulted methods, and the [`Probe`] parameter is how instrumentation
+//! attaches without forking the call path.
+//!
+//! The trait is generic over the probe (`AbortableLock<P>`) with a
+//! `dyn Probe` default, giving both worlds at once:
+//!
+//! * `Box<dyn AbortableLock>` (= `dyn AbortableLock<dyn Probe>`) is
+//!   object-safe — heterogeneous lock registries work.
+//! * A concrete `P` (e.g. [`NoProbe`](sal_obs::NoProbe)) monomorphizes
+//!   every hook away — `sal-sync`'s uninstrumented path keeps its
+//!   codegen.
 
 use sal_memory::{AbortSignal, Mem, Pid};
+use sal_obs::Probe;
 use std::fmt::Debug;
 
-/// An (abortable) mutual-exclusion lock driven through a [`Mem`].
+/// Result of an [`AbortableLock::enter`] attempt.
 ///
-/// `enter` returns `true` iff the process acquired the lock and entered
-/// the critical section, in which case it must eventually call `exit`.
-/// `enter` returns `false` iff the attempt was abandoned in response to
-/// `signal` (only possible when [`is_abortable`](Lock::is_abortable)).
-/// Note that, per the problem statement (§2), `enter` *may* return `true`
-/// even after the signal fires — a process can be handed the lock before
-/// noticing the signal.
+/// `ticket` carries the FCFS doorway ticket when the algorithm has one
+/// (the one-shot locks' `F&A(Tail)` index); locks without a doorway
+/// report `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The process acquired the lock and entered the critical section;
+    /// it must eventually call [`AbortableLock::exit`].
+    Entered {
+        /// FCFS doorway ticket, if the algorithm has a doorway.
+        ticket: Option<u64>,
+    },
+    /// The process abandoned the attempt in response to the abort
+    /// signal.
+    Aborted {
+        /// Doorway ticket of the abandoned attempt, if any.
+        ticket: Option<u64>,
+    },
+}
+
+impl Outcome {
+    /// Whether the lock was acquired.
+    pub fn entered(&self) -> bool {
+        matches!(self, Outcome::Entered { .. })
+    }
+
+    /// Whether the attempt aborted.
+    pub fn aborted(&self) -> bool {
+        !self.entered()
+    }
+
+    /// The doorway ticket of this attempt, if the algorithm has one.
+    pub fn ticket(&self) -> Option<u64> {
+        match *self {
+            Outcome::Entered { ticket } | Outcome::Aborted { ticket } => ticket,
+        }
+    }
+}
+
+/// An (abortable) mutual-exclusion lock driven through a [`Mem`], with
+/// passage-lifecycle observability.
 ///
-/// Implementations keep any per-process local state internally, keyed by
-/// `p`; `p` must be in `0..mem.num_procs()` and each process must obey the
-/// usual protocol (no `exit` without a preceding successful `enter`).
-pub trait Lock: Send + Sync + Debug {
+/// `enter` reports [`Outcome::Entered`] iff the process acquired the
+/// lock and entered the critical section, in which case it must
+/// eventually call `exit`. [`Outcome::Aborted`] means the attempt was
+/// abandoned in response to `signal` (only possible when
+/// [`is_abortable`](AbortableLock::is_abortable)). Note that, per the
+/// problem statement (§2), `enter` *may* report `Entered` even after
+/// the signal fires — a process can be handed the lock before noticing
+/// the signal.
+///
+/// Implementations call the probe's passage hooks
+/// ([`enter_begin`](Probe::enter_begin) /
+/// [`enter_end`](Probe::enter_end) / [`abort`](Probe::abort) from
+/// `enter`, [`cs_exit`](Probe::cs_exit) from `exit`) and route their
+/// shared-memory operations through a
+/// [`ProbedMem`](sal_obs::ProbedMem) so `op`/`rmr` hooks fire per
+/// operation.
+///
+/// Implementations keep any per-process local state internally, keyed
+/// by `p`; `p` must be in `0..mem.num_procs()` and each process must
+/// obey the usual protocol (no `exit` without a preceding successful
+/// `enter`).
+pub trait AbortableLock<P: Probe + ?Sized = dyn Probe>: Send + Sync + Debug {
     /// Short machine-readable name, e.g. `"one-shot(B=8)"`.
     fn name(&self) -> String;
 
@@ -34,32 +101,42 @@ pub trait Lock: Send + Sync + Debug {
         false
     }
 
-    /// Attempt to acquire the lock as process `p`.
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal) -> bool;
+    /// Attempt to acquire the lock as process `p`, reporting passage
+    /// events to `probe`.
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome;
 
-    /// Like [`enter`](Lock::enter), but additionally reports the FCFS
-    /// doorway ticket when the algorithm has one (the one-shot locks'
-    /// `F&A(Tail)` index). Locks without a doorway return `None`; the
-    /// harness uses the ticket to verify first-come-first-served order.
-    fn enter_ticketed(
-        &self,
-        mem: &dyn Mem,
-        p: Pid,
-        signal: &dyn AbortSignal,
-    ) -> (bool, Option<u64>) {
-        (self.enter(mem, p, signal), None)
-    }
-
-    /// Release the lock as process `p` (which must be in the CS).
-    fn exit(&self, mem: &dyn Mem, p: Pid);
+    /// Release the lock as process `p` (which must be in the CS),
+    /// reporting the passage completion to `probe`.
+    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sal_obs::NoProbe;
 
     #[test]
-    fn lock_trait_is_object_safe() {
-        fn _takes(_l: &dyn Lock) {}
+    fn abortable_lock_trait_is_object_safe() {
+        fn _takes(_l: &dyn AbortableLock) {}
+        fn _takes_boxed(_l: Box<dyn AbortableLock>) {}
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let e = Outcome::Entered { ticket: Some(3) };
+        assert!(e.entered() && !e.aborted());
+        assert_eq!(e.ticket(), Some(3));
+        let a = Outcome::Aborted { ticket: None };
+        assert!(a.aborted() && !a.entered());
+        assert_eq!(a.ticket(), None);
+    }
+
+    #[test]
+    fn no_probe_coerces_to_dyn_probe() {
+        // The default type parameter means `&NoProbe` is accepted at
+        // `&dyn Probe` positions via unsize coercion.
+        fn _call(l: &dyn AbortableLock, mem: &dyn Mem, sig: &dyn AbortSignal) {
+            let _ = l.enter(mem, 0, sig, &NoProbe);
+        }
     }
 }

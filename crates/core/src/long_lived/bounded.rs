@@ -31,10 +31,11 @@
 use super::desc::TaggedDesc;
 use super::spin_pool::SpinNodePool;
 use super::versioned::VersionedInstance;
-use crate::lock::Lock;
+use crate::lock::{AbortableLock, Outcome};
 use crate::one_shot::OneShotLock;
 use crate::tree::Ascent;
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordId};
+use sal_obs::{NoProbe, Probe, ProbedMem};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -190,6 +191,38 @@ impl BoundedLongLivedLock {
         M: Mem + ?Sized,
         S: AbortSignal + ?Sized,
     {
+        self.enter_impl(mem, pid, signal, &NoProbe)
+    }
+
+    /// [`enter`](Self::enter) with passage observability: lifecycle
+    /// hooks, per-operation `op`/`rmr` hooks via [`ProbedMem`], and an
+    /// `"instance-switch"` [`note`](Probe::note) when this process's
+    /// Cleanup wins the line-76 descriptor CAS. The nested one-shot
+    /// `enter` is *not* treated as a passage of its own — only its
+    /// memory operations are observed.
+    pub fn enter_probed<M, S, P>(&self, mem: &M, pid: Pid, signal: &S, probe: &P) -> bool
+    where
+        M: Mem + ?Sized,
+        S: AbortSignal + ?Sized,
+        P: Probe + ?Sized,
+    {
+        probe.enter_begin(pid);
+        let pm = ProbedMem::new(mem, probe);
+        let completed = self.enter_impl(&pm, pid, signal, probe);
+        if completed {
+            probe.enter_end(pid, None);
+        } else {
+            probe.abort(pid, None);
+        }
+        completed
+    }
+
+    fn enter_impl<M, S, P>(&self, mem: &M, pid: Pid, signal: &S, probe: &P) -> bool
+    where
+        M: Mem + ?Sized,
+        S: AbortSignal + ?Sized,
+        P: Probe + ?Sized,
+    {
         let old_epoch = self.locals[pid].lock().unwrap().old_epoch;
         let d = TaggedDesc::unpack(mem.read(pid, self.desc)); // line 57
         if Some(d.epoch()) == old_epoch {
@@ -214,21 +247,45 @@ impl BoundedLongLivedLock {
         let inst = self.instances[d.lock as usize].view(mem);
         let completed = self.proto.enter(&inst, pid, signal).entered(); // line 63
         if !completed {
-            self.cleanup(mem, pid); // lines 64–65
+            self.cleanup(mem, pid, probe); // lines 64–65
         }
         completed
     }
 
     /// `Exit()` (Algorithm 6.2).
     pub fn exit<M: Mem + ?Sized>(&self, mem: &M, pid: Pid) {
+        self.exit_impl(mem, pid, &NoProbe);
+    }
+
+    /// [`exit`](Self::exit) with passage observability; fires
+    /// [`Probe::cs_exit`] once the passage completes.
+    pub fn exit_probed<M, P>(&self, mem: &M, pid: Pid, probe: &P)
+    where
+        M: Mem + ?Sized,
+        P: Probe + ?Sized,
+    {
+        let pm = ProbedMem::new(mem, probe);
+        self.exit_impl(&pm, pid, probe);
+        probe.cs_exit(pid);
+    }
+
+    fn exit_impl<M, P>(&self, mem: &M, pid: Pid, probe: &P)
+    where
+        M: Mem + ?Sized,
+        P: Probe + ?Sized,
+    {
         let d = TaggedDesc::unpack(mem.read(pid, self.desc)); // line 67
         let inst = self.instances[d.lock as usize].view(mem);
         self.proto.exit(&inst, pid); // line 68
-        self.cleanup(mem, pid); // line 69
+        self.cleanup(mem, pid, probe); // line 69
     }
 
     /// `Cleanup()` (Algorithm 6.3 + §6.2 recycling).
-    fn cleanup<M: Mem + ?Sized>(&self, mem: &M, pid: Pid) {
+    fn cleanup<M, P>(&self, mem: &M, pid: Pid, probe: &P)
+    where
+        M: Mem + ?Sized,
+        P: Probe + ?Sized,
+    {
         let d = TaggedDesc::unpack(mem.faa(pid, self.desc, 1u64.wrapping_neg())); // line 70
         {
             let mut local = self.locals[pid].lock().unwrap();
@@ -259,6 +316,7 @@ impl BoundedLongLivedLock {
             // line 76 succeeded: wake the waiters, take the replaced
             // instance as our next spare, retire the replaced spin node.
             PathStats::bump(&self.stats.switches);
+            probe.note(pid, "instance-switch", u64::from(new_lock));
             mem.write(pid, self.spins.go_word(d.spn), 1); // line 77
             self.locals[pid].lock().unwrap().spare = d.lock;
             self.spins.retire(mem, pid, d.spn);
@@ -273,17 +331,21 @@ impl BoundedLongLivedLock {
     }
 }
 
-impl Lock for BoundedLongLivedLock {
+impl<P: Probe + ?Sized> AbortableLock<P> for BoundedLongLivedLock {
     fn name(&self) -> String {
         format!("long-lived(B={})", self.branching())
     }
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal) -> bool {
-        BoundedLongLivedLock::enter(self, mem, p, signal)
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+        if self.enter_probed(mem, p, signal, probe) {
+            Outcome::Entered { ticket: None }
+        } else {
+            Outcome::Aborted { ticket: None }
+        }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid) {
-        BoundedLongLivedLock::exit(self, mem, p);
+    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+        self.exit_probed(mem, p, probe);
     }
 }
 
@@ -386,10 +448,32 @@ mod tests {
     #[test]
     fn lock_trait_object_usage() {
         let (lock, mem) = build(2);
-        let l: &dyn Lock = &lock;
+        let l: &dyn AbortableLock = &lock;
         assert!(!l.is_one_shot());
-        assert!(l.enter(&mem, 1, &NeverAbort));
-        l.exit(&mem, 1);
+        assert!(l.enter(&mem, 1, &NeverAbort, &NoProbe).entered());
+        l.exit(&mem, 1, &NoProbe);
         assert!(l.name().contains("long-lived"));
+    }
+
+    #[test]
+    fn instance_switches_are_noted_to_the_probe() {
+        let (lock, mem) = build(2);
+        let log = sal_obs::EventLog::new(256);
+        // Solo passages: every exit drops refcnt to 0 and switches.
+        for _ in 0..5 {
+            assert!(lock.enter_probed(&mem, 0, &NeverAbort, &log));
+            lock.exit_probed(&mem, 0, &log);
+        }
+        let switches = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, sal_obs::ObsEventKind::Note("instance-switch", _)))
+            .count() as u64;
+        assert_eq!(
+            switches,
+            lock.stats().snapshot().2,
+            "probe notes must mirror the PathStats switch counter"
+        );
+        assert!(switches >= 4);
     }
 }

@@ -10,9 +10,10 @@
 //! bounded-space version of §6.2.
 
 use super::desc::SimpleDesc;
-use crate::lock::Lock;
+use crate::lock::{AbortableLock, Outcome};
 use crate::one_shot::OneShotLock;
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
+use sal_obs::{NoProbe, Probe, ProbedMem};
 use std::sync::Mutex;
 
 /// Per-process local variable of Figure 5 (`oldSpn`).
@@ -96,6 +97,34 @@ impl SimpleLongLivedLock {
         M: Mem + ?Sized,
         S: AbortSignal + ?Sized,
     {
+        self.enter_impl(mem, pid, signal, &NoProbe)
+    }
+
+    /// [`enter`](Self::enter) with passage observability (see
+    /// [`BoundedLongLivedLock::enter_probed`](super::BoundedLongLivedLock::enter_probed)).
+    pub fn enter_probed<M, S, P>(&self, mem: &M, pid: Pid, signal: &S, probe: &P) -> bool
+    where
+        M: Mem + ?Sized,
+        S: AbortSignal + ?Sized,
+        P: Probe + ?Sized,
+    {
+        probe.enter_begin(pid);
+        let pm = ProbedMem::new(mem, probe);
+        let completed = self.enter_impl(&pm, pid, signal, probe);
+        if completed {
+            probe.enter_end(pid, None);
+        } else {
+            probe.abort(pid, None);
+        }
+        completed
+    }
+
+    fn enter_impl<M, S, P>(&self, mem: &M, pid: Pid, signal: &S, probe: &P) -> bool
+    where
+        M: Mem + ?Sized,
+        S: AbortSignal + ?Sized,
+        P: Probe + ?Sized,
+    {
         let old_spn = self.locals[pid].lock().unwrap().old_spn;
         let d = SimpleDesc::unpack(mem.read(pid, self.desc)); // line 57
         if Some(d.spn) == old_spn {
@@ -113,20 +142,43 @@ impl SimpleLongLivedLock {
             .enter(mem, pid, signal)
             .entered(); // line 63
         if !completed {
-            self.cleanup(mem, pid); // lines 64–65
+            self.cleanup(mem, pid, probe); // lines 64–65
         }
         completed // line 66
     }
 
     /// `Exit()` (Algorithm 6.2).
     pub fn exit<M: Mem + ?Sized>(&self, mem: &M, pid: Pid) {
+        self.exit_impl(mem, pid, &NoProbe);
+    }
+
+    /// [`exit`](Self::exit) with passage observability.
+    pub fn exit_probed<M, P>(&self, mem: &M, pid: Pid, probe: &P)
+    where
+        M: Mem + ?Sized,
+        P: Probe + ?Sized,
+    {
+        let pm = ProbedMem::new(mem, probe);
+        self.exit_impl(&pm, pid, probe);
+        probe.cs_exit(pid);
+    }
+
+    fn exit_impl<M, P>(&self, mem: &M, pid: Pid, probe: &P)
+    where
+        M: Mem + ?Sized,
+        P: Probe + ?Sized,
+    {
         let d = SimpleDesc::unpack(mem.read(pid, self.desc)); // line 67
         self.instances[d.lock as usize].exit(mem, pid); // line 68
-        self.cleanup(mem, pid); // line 69
+        self.cleanup(mem, pid, probe); // line 69
     }
 
     /// `Cleanup()` (Algorithm 6.3).
-    fn cleanup<M: Mem + ?Sized>(&self, mem: &M, pid: Pid) {
+    fn cleanup<M, P>(&self, mem: &M, pid: Pid, probe: &P)
+    where
+        M: Mem + ?Sized,
+        P: Probe + ?Sized,
+    {
         // line 70: decrement Refcnt, snapshotting the tuple.
         let d = SimpleDesc::unpack(mem.faa(pid, self.desc, 1u64.wrapping_neg()));
         self.locals[pid].lock().unwrap().old_spn = Some(d.spn);
@@ -152,13 +204,14 @@ impl SimpleLongLivedLock {
             };
             // line 76–77
             if mem.cas(pid, self.desc, old.pack(), new.pack()) {
+                probe.note(pid, "instance-switch", u64::from(new_lock));
                 mem.write(pid, self.spin_nodes.at(d.spn as usize), 1);
             }
         }
     }
 }
 
-impl Lock for SimpleLongLivedLock {
+impl<P: Probe + ?Sized> AbortableLock<P> for SimpleLongLivedLock {
     fn name(&self) -> String {
         format!(
             "long-lived-simple(B={})",
@@ -166,12 +219,16 @@ impl Lock for SimpleLongLivedLock {
         )
     }
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal) -> bool {
-        SimpleLongLivedLock::enter(self, mem, p, signal)
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+        if self.enter_probed(mem, p, signal, probe) {
+            Outcome::Entered { ticket: None }
+        } else {
+            Outcome::Aborted { ticket: None }
+        }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid) {
-        SimpleLongLivedLock::exit(self, mem, p);
+    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+        self.exit_probed(mem, p, probe);
     }
 }
 

@@ -7,9 +7,10 @@
 //! publishes it in `announce[ticket]`. A handoff writes `go[i] = 1`,
 //! reads `announce[i]`, and — if published — sets the spin bit.
 
-use crate::lock::Lock;
+use crate::lock::{AbortableLock, Outcome};
 use crate::tree::{Ascent, FindNextResult, Tree};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
+use sal_obs::{Probe, ProbedMem};
 
 use super::{EnterOutcome, NO_ONE};
 
@@ -108,11 +109,40 @@ impl DsmOneShotLock {
         EnterOutcome::Entered { ticket: i }
     }
 
+    /// [`enter`](Self::enter) with passage observability (see
+    /// [`OneShotLock::enter_probed`](super::OneShotLock::enter_probed)).
+    pub fn enter_probed<M, S, P>(&self, mem: &M, pid: Pid, signal: &S, probe: &P) -> EnterOutcome
+    where
+        M: Mem + ?Sized,
+        S: AbortSignal + ?Sized,
+        P: Probe + ?Sized,
+    {
+        probe.enter_begin(pid);
+        let pm = ProbedMem::new(mem, probe);
+        let outcome = self.enter(&pm, pid, signal);
+        match outcome {
+            EnterOutcome::Entered { ticket } => probe.enter_end(pid, Some(ticket)),
+            EnterOutcome::Aborted { ticket } => probe.abort(pid, Some(ticket)),
+        }
+        outcome
+    }
+
     /// `Exit()`, executed by the process in the CS.
     pub fn exit<M: Mem + ?Sized>(&self, mem: &M, pid: Pid) {
         let head = mem.read(pid, self.head);
         mem.write(pid, self.last_exited, head);
         self.signal_next(mem, pid, head);
+    }
+
+    /// [`exit`](Self::exit) with passage observability.
+    pub fn exit_probed<M, P>(&self, mem: &M, pid: Pid, probe: &P)
+    where
+        M: Mem + ?Sized,
+        P: Probe + ?Sized,
+    {
+        let pm = ProbedMem::new(mem, probe);
+        self.exit(&pm, pid);
+        probe.cs_exit(pid);
     }
 
     fn abort<M: Mem + ?Sized>(&self, mem: &M, pid: Pid, i: u64) {
@@ -138,7 +168,7 @@ impl DsmOneShotLock {
     }
 }
 
-impl Lock for DsmOneShotLock {
+impl<P: Probe + ?Sized> AbortableLock<P> for DsmOneShotLock {
     fn name(&self) -> String {
         format!("one-shot-dsm(B={})", self.tree.branching())
     }
@@ -147,22 +177,12 @@ impl Lock for DsmOneShotLock {
         true
     }
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal) -> bool {
-        DsmOneShotLock::enter(self, mem, p, signal).entered()
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+        self.enter_probed(mem, p, signal, probe).into()
     }
 
-    fn enter_ticketed(
-        &self,
-        mem: &dyn Mem,
-        p: Pid,
-        signal: &dyn AbortSignal,
-    ) -> (bool, Option<u64>) {
-        let outcome = DsmOneShotLock::enter(self, mem, p, signal);
-        (outcome.entered(), Some(outcome.ticket()))
-    }
-
-    fn exit(&self, mem: &dyn Mem, p: Pid) {
-        DsmOneShotLock::exit(self, mem, p);
+    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+        self.exit_probed(mem, p, probe);
     }
 }
 

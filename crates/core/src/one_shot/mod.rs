@@ -27,9 +27,10 @@ mod dsm;
 
 pub use dsm::DsmOneShotLock;
 
-use crate::lock::Lock;
+use crate::lock::{AbortableLock, Outcome};
 use crate::tree::{Ascent, FindNextResult, Tree};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
+use sal_obs::{Probe, ProbedMem};
 
 /// Sentinel for `LastExited = −1` (no process has exited yet).
 const NO_ONE: u64 = u64::MAX;
@@ -61,6 +62,19 @@ impl EnterOutcome {
     pub fn ticket(&self) -> u64 {
         match *self {
             EnterOutcome::Entered { ticket } | EnterOutcome::Aborted { ticket } => ticket,
+        }
+    }
+}
+
+impl From<EnterOutcome> for Outcome {
+    fn from(o: EnterOutcome) -> Outcome {
+        match o {
+            EnterOutcome::Entered { ticket } => Outcome::Entered {
+                ticket: Some(ticket),
+            },
+            EnterOutcome::Aborted { ticket } => Outcome::Aborted {
+                ticket: Some(ticket),
+            },
         }
     }
 }
@@ -156,11 +170,44 @@ impl OneShotLock {
         EnterOutcome::Entered { ticket: i }
     }
 
+    /// [`enter`](Self::enter) with passage observability: fires
+    /// [`Probe::enter_begin`], routes every shared-memory operation
+    /// through a [`ProbedMem`] (so `op`/`rmr` hooks fire), and closes
+    /// the attempt with [`Probe::enter_end`] or [`Probe::abort`].
+    pub fn enter_probed<M, S, P>(&self, mem: &M, pid: Pid, signal: &S, probe: &P) -> EnterOutcome
+    where
+        M: Mem + ?Sized,
+        S: AbortSignal + ?Sized,
+        P: Probe + ?Sized,
+    {
+        probe.enter_begin(pid);
+        let pm = ProbedMem::new(mem, probe);
+        let outcome = self.enter(&pm, pid, signal);
+        match outcome {
+            EnterOutcome::Entered { ticket } => probe.enter_end(pid, Some(ticket)),
+            EnterOutcome::Aborted { ticket } => probe.abort(pid, Some(ticket)),
+        }
+        outcome
+    }
+
     /// `Exit()` (Algorithm 3.2), executed by the process in the CS.
     pub fn exit<M: Mem + ?Sized>(&self, mem: &M, pid: Pid) {
         let head = mem.read(pid, self.head); // line 8
         mem.write(pid, self.last_exited, head); // line 9
         self.signal_next(mem, pid, head); // line 10
+    }
+
+    /// [`exit`](Self::exit) with passage observability: routes the exit
+    /// protocol through a [`ProbedMem`] and fires [`Probe::cs_exit`]
+    /// once the passage is complete.
+    pub fn exit_probed<M, P>(&self, mem: &M, pid: Pid, probe: &P)
+    where
+        M: Mem + ?Sized,
+        P: Probe + ?Sized,
+    {
+        let pm = ProbedMem::new(mem, probe);
+        self.exit(&pm, pid);
+        probe.cs_exit(pid);
     }
 
     /// `Abort(i)` (Algorithm 3.3).
@@ -189,7 +236,7 @@ impl OneShotLock {
     }
 }
 
-impl Lock for OneShotLock {
+impl<P: Probe + ?Sized> AbortableLock<P> for OneShotLock {
     fn name(&self) -> String {
         let flavour = match self.ascent {
             Ascent::Plain => "plain",
@@ -202,22 +249,12 @@ impl Lock for OneShotLock {
         true
     }
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal) -> bool {
-        OneShotLock::enter(self, mem, p, signal).entered()
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+        self.enter_probed(mem, p, signal, probe).into()
     }
 
-    fn enter_ticketed(
-        &self,
-        mem: &dyn Mem,
-        p: Pid,
-        signal: &dyn AbortSignal,
-    ) -> (bool, Option<u64>) {
-        let outcome = OneShotLock::enter(self, mem, p, signal);
-        (outcome.entered(), Some(outcome.ticket()))
-    }
-
-    fn exit(&self, mem: &dyn Mem, p: Pid) {
-        OneShotLock::exit(self, mem, p);
+    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+        self.exit_probed(mem, p, probe);
     }
 }
 
@@ -329,11 +366,34 @@ mod tests {
     #[test]
     fn lock_trait_round_trip() {
         let (lock, mem) = build(2, 2);
-        let l: &dyn Lock = &lock;
+        let l: &dyn AbortableLock = &lock;
         assert!(l.is_one_shot());
         assert!(l.is_abortable());
         assert!(l.name().contains("one-shot"));
-        assert!(l.enter(&mem, 0, &NeverAbort));
-        l.exit(&mem, 0);
+        assert!(l.enter(&mem, 0, &NeverAbort, &sal_obs::NoProbe).entered());
+        l.exit(&mem, 0, &sal_obs::NoProbe);
+    }
+
+    #[test]
+    fn probed_passages_report_lifecycle_and_ground_truth_rmrs() {
+        let (lock, mem) = build(3, 2);
+        let stats = sal_obs::PassageStats::new();
+        let before = mem.rmrs(0);
+        assert!(lock.enter_probed(&mem, 0, &NeverAbort, &stats).entered());
+        lock.exit_probed(&mem, 0, &stats);
+        let rec = stats.records()[0];
+        assert!(rec.entered);
+        assert_eq!(rec.ticket, Some(0));
+        assert_eq!(rec.rmrs, mem.rmrs(0) - before, "probe view == cost model");
+
+        // An aborted attempt closes the passage with entered = false.
+        assert!(lock.enter_probed(&mem, 1, &NeverAbort, &stats).entered());
+        let sig = AbortFlag::new();
+        sig.set();
+        assert!(!lock.enter_probed(&mem, 2, &sig, &stats).entered());
+        let recs = stats.records();
+        assert_eq!(recs.len(), 2);
+        assert!(!recs[1].entered);
+        assert_eq!(recs[1].ticket, Some(2));
     }
 }

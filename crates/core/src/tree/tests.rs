@@ -84,10 +84,9 @@ fn padding_is_never_returned() {
 
 #[test]
 fn sequential_equivalence_of_plain_and_adaptive_under_random_removals() {
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use sal_runtime::SmallRng;
     for seed in 0..20u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let n = rng.random_range(2..80usize);
         let branching = [2usize, 3, 4, 5, 8, 16, 64][rng.random_range(0..7)];
         let (tree, mem) = build(n, branching);

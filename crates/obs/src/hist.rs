@@ -1,0 +1,208 @@
+//! A small exact histogram over `u64` samples.
+//!
+//! Per-passage RMR counts are tiny integers (the whole point of the
+//! paper is that they stay `O(log_W N)`), and per-passage step counts
+//! are bounded by the simulator's step budget — so the histogram keeps
+//! exact counts in power-of-two buckets with an exact running min / max
+//! / sum, and answers nearest-rank quantiles from the raw samples it
+//! retains for small populations, falling back to bucket bounds beyond
+//! that. Experiments keep at most a few thousand passages per run, so in
+//! practice quantiles are exact.
+
+/// Exact-count histogram with nearest-rank quantiles.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    /// Raw samples, retained (unsorted) up to [`Histogram::RETAIN`].
+    samples: Vec<u64>,
+    /// Bucket `i` counts samples in `[2^(i-1), 2^i)`; bucket 0 counts 0.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Raw samples kept for exact quantiles; beyond this, quantiles are
+    /// answered from bucket upper bounds.
+    pub const RETAIN: usize = 1 << 16;
+
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.samples.len() < Self::RETAIN {
+            self.samples.push(v);
+        }
+        let b = Self::bucket_of(v);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (the amortized-total numerator).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile (`q` in `0.0..=1.0`), or 0 when empty.
+    /// Exact while at most [`Self::RETAIN`] samples were recorded;
+    /// otherwise the bucket upper bound containing the rank.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if self.samples.len() as u64 == self.count {
+            let mut sorted = self.samples.clone();
+            sorted.sort_unstable();
+            return sorted[rank as usize - 1];
+        }
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket b: 0 for b = 0, else 2^b - 1.
+                return if b == 0 { 0 } else { (1u64 << b) - 1 }.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Per-bucket `(upper_bound_inclusive, count)` pairs, skipping empty
+    /// buckets — the machine-readable shape of the distribution.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (if b == 0 { 0 } else { (1u64 << b) - 1 }, c))
+            .collect()
+    }
+
+    /// One-line rendering: `n=…min=… p50=… p99=… max=… mean=…`.
+    pub fn render(&self) -> String {
+        format!(
+            "n={} min={} p50={} p99={} max={} mean={:.1}",
+            self.count,
+            self.min(),
+            self.quantile(0.50),
+            self.quantile(0.99),
+            self.max(),
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn exact_quantiles_while_samples_are_retained() {
+        let mut h = Histogram::new();
+        for v in [5, 1, 3, 2, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 5);
+        assert_eq!(h.quantile(0.50), 3);
+        assert_eq!(h.quantile(0.99), 5);
+        assert_eq!(h.quantile(1.0), 5);
+        assert!((h.mean() - 3.0).abs() < 1e-9);
+        assert_eq!(h.sum(), 15);
+    }
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        let buckets = h.buckets();
+        // 0 → bound 0; 1 → 1; 2,3 → 3; 4..7 → 7; 8 → 15; 1000 → 1023.
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (7, 2), (15, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn quantile_falls_back_to_buckets_beyond_retention() {
+        let mut h = Histogram::new();
+        // Force the fallback path without allocating 64k samples: drain
+        // the retained set by recording past RETAIN via a tiny stand-in.
+        // (RETAIN is large, so emulate: record then clear samples.)
+        for _ in 0..100 {
+            h.record(6);
+        }
+        h.samples.clear();
+        // Now samples.len() != count → bucket path. 6 lives in (4..=7].
+        assert_eq!(h.quantile(0.5), 6);
+        assert!(h.quantile(0.5) <= 7);
+    }
+
+    #[test]
+    fn render_mentions_key_stats() {
+        let mut h = Histogram::new();
+        h.record(4);
+        let s = h.render();
+        assert!(s.contains("n=1") && s.contains("max=4"));
+    }
+}

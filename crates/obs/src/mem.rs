@@ -1,0 +1,131 @@
+//! [`ProbedMem`]: a [`Mem`] wrapper that fires probe hooks for every
+//! shared-memory operation, classifying each as remote or local by
+//! consulting the inner memory's exact RMR accounting.
+
+use crate::probe::Probe;
+use sal_memory::{Mem, OpKind, Pid, WordId};
+
+/// A memory wrapper reporting every operation to a [`Probe`].
+///
+/// For each operation the wrapper calls [`Probe::op`], and — when the
+/// inner memory's per-process RMR counter advanced — [`Probe::rmr`].
+/// The classification is therefore exactly the inner cost model's (CC,
+/// DSM, or none for [`RawMemory`](sal_memory::RawMemory), whose counters
+/// stay at 0 so `rmr` never fires).
+///
+/// Counter queries (`rmrs`/`ops`/…) pass straight through, so ground
+/// truth remains available on the wrapper itself; under the simulator's
+/// `SteppedMem` these queries do not consume scheduling turns, so
+/// wrapping does not perturb schedules.
+#[derive(Debug)]
+pub struct ProbedMem<'a, M: Mem + ?Sized, P: Probe + ?Sized> {
+    inner: &'a M,
+    probe: &'a P,
+}
+
+impl<'a, M: Mem + ?Sized, P: Probe + ?Sized> ProbedMem<'a, M, P> {
+    /// Wrap `inner`, reporting every operation to `probe`.
+    pub fn new(inner: &'a M, probe: &'a P) -> Self {
+        ProbedMem { inner, probe }
+    }
+
+    /// The wrapped memory.
+    pub fn inner(&self) -> &'a M {
+        self.inner
+    }
+
+    #[inline]
+    fn observed<T>(&self, p: Pid, kind: OpKind, op: impl FnOnce() -> T) -> T {
+        let before = self.inner.rmrs(p);
+        let out = op();
+        self.probe.op(p, kind);
+        if self.inner.rmrs(p) != before {
+            self.probe.rmr(p, kind);
+        }
+        out
+    }
+}
+
+impl<M: Mem + ?Sized, P: Probe + ?Sized> Mem for ProbedMem<'_, M, P> {
+    fn read(&self, p: Pid, w: WordId) -> u64 {
+        self.observed(p, OpKind::Read, || self.inner.read(p, w))
+    }
+
+    fn write(&self, p: Pid, w: WordId, v: u64) {
+        self.observed(p, OpKind::Write, || self.inner.write(p, w, v));
+    }
+
+    fn cas(&self, p: Pid, w: WordId, old: u64, new: u64) -> bool {
+        self.observed(p, OpKind::Cas, || self.inner.cas(p, w, old, new))
+    }
+
+    fn faa(&self, p: Pid, w: WordId, add: u64) -> u64 {
+        self.observed(p, OpKind::Faa, || self.inner.faa(p, w, add))
+    }
+
+    fn swap(&self, p: Pid, w: WordId, v: u64) -> u64 {
+        self.observed(p, OpKind::Swap, || self.inner.swap(p, w, v))
+    }
+
+    fn rmrs(&self, p: Pid) -> u64 {
+        self.inner.rmrs(p)
+    }
+
+    fn total_rmrs(&self) -> u64 {
+        self.inner.total_rmrs()
+    }
+
+    fn ops(&self, p: Pid) -> u64 {
+        self.inner.ops(p)
+    }
+
+    fn num_words(&self) -> usize {
+        self.inner.num_words()
+    }
+
+    fn num_procs(&self) -> usize {
+        self.inner.num_procs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PassageStats;
+    use sal_memory::MemoryBuilder;
+
+    #[test]
+    fn rmr_hooks_match_ground_truth_counters() {
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc(0);
+        let mem = b.build_cc(2);
+        let stats = PassageStats::new();
+        let pm = ProbedMem::new(&mem, &stats);
+
+        stats.enter_begin(0);
+        pm.write(0, w, 1); // remote: first touch
+        pm.read(0, w); // local: cached after own write
+        pm.faa(0, w, 1); // remote-or-local per CC rules; either way counted
+        stats.enter_end(0, None);
+        stats.cs_exit(0);
+
+        let rec = &stats.records()[0];
+        assert_eq!(rec.ops, 3);
+        assert_eq!(rec.rmrs, mem.rmrs(0), "probe view must equal ground truth");
+    }
+
+    #[test]
+    fn counter_queries_pass_through() {
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc(7);
+        let mem = b.build_cc(3);
+        let pm = ProbedMem::new(&mem, &crate::NoProbe);
+        assert_eq!(pm.read(1, w), 7);
+        assert_eq!(pm.num_procs(), 3);
+        assert_eq!(pm.num_words(), mem.num_words());
+        assert_eq!(pm.rmrs(1), mem.rmrs(1));
+        assert_eq!(pm.ops(1), 1);
+        assert_eq!(pm.total_rmrs(), mem.total_rmrs());
+        assert!(pm.inner().num_words() > 0);
+    }
+}

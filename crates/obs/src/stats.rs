@@ -1,0 +1,316 @@
+//! [`PassageStats`]: the per-passage RMR accounting sink.
+//!
+//! This is the single accounting path behind every experiment: the
+//! harness (and any directly-driven lock wrapped in
+//! [`ProbedMem`](crate::ProbedMem)) feeds it lifecycle + operation
+//! hooks, and it produces per-passage records, RMR and step-latency
+//! histograms, and amortized totals — the measured counterparts of the
+//! paper's per-passage complexity statements.
+
+use crate::hist::Histogram;
+use crate::probe::Probe;
+use sal_memory::{OpKind, Pid};
+use std::sync::{Arc, Mutex};
+
+/// Statistics for one completed passage attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassageRecord {
+    /// The attempting process.
+    pub pid: Pid,
+    /// 0-based attempt index of this process.
+    pub attempt: usize,
+    /// Whether the CS was entered (vs. aborted).
+    pub entered: bool,
+    /// RMRs incurred across `enter` + CS + `exit` (or across the aborted
+    /// `enter`).
+    pub rmrs: u64,
+    /// Shared-memory operations across the passage (each one a
+    /// simulator scheduling point — the passage's step latency).
+    pub ops: u64,
+    /// The FCFS doorway ticket, when the algorithm reported one.
+    pub ticket: Option<u64>,
+}
+
+/// An in-flight passage of one process.
+#[derive(Debug, Clone, Copy, Default)]
+struct InFlight {
+    active: bool,
+    entered: bool,
+    rmrs: u64,
+    ops: u64,
+    ticket: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    inflight: Vec<InFlight>,
+    attempts: Vec<usize>,
+    records: Vec<PassageRecord>,
+    entered_rmrs: Histogram,
+    aborted_rmrs: Histogram,
+    entered_ops: Histogram,
+}
+
+/// Summary view of a run: histograms and amortized totals.
+#[derive(Debug, Clone)]
+pub struct PassageSummary {
+    /// Completed (entered) passages.
+    pub entered: u64,
+    /// Aborted attempts.
+    pub aborted: u64,
+    /// Max RMRs over entered passages.
+    pub max_entered_rmrs: u64,
+    /// Median RMRs over entered passages.
+    pub p50_entered_rmrs: u64,
+    /// 99th-percentile RMRs over entered passages.
+    pub p99_entered_rmrs: u64,
+    /// Mean RMRs over entered passages.
+    pub mean_entered_rmrs: f64,
+    /// Max RMRs over aborted attempts.
+    pub max_aborted_rmrs: u64,
+    /// Total RMRs over *all* passages divided by total passages — the
+    /// amortized per-passage cost (the Jayanti-&-Jayanti comparison
+    /// metric).
+    pub amortized_rmrs: f64,
+    /// Max shared-memory steps (op count) of an entered passage.
+    pub max_entered_ops: u64,
+}
+
+/// Per-passage RMR + step-latency accounting, fed through the [`Probe`]
+/// hooks.
+///
+/// Thread-safe; one instance observes one execution. Passages finalize
+/// on [`cs_exit`](Probe::cs_exit) (entered) or [`abort`](Probe::abort)
+/// (aborted), and appear in [`records`](Self::records) in finalization
+/// order.
+///
+/// `PassageStats` is a cheap *handle*: `clone()` yields another handle on
+/// the same underlying accounting state, so a caller can hand one clone
+/// to an execution (which needs an owned, `'static` probe) and keep
+/// another to read the results afterwards.
+#[derive(Debug, Default, Clone)]
+pub struct PassageStats {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl PassageStats {
+    /// New, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All finalized passages, in completion order.
+    pub fn records(&self) -> Vec<PassageRecord> {
+        self.inner.lock().unwrap().records.clone()
+    }
+
+    /// Number of finalized passages.
+    pub fn total_passages(&self) -> usize {
+        self.inner.lock().unwrap().records.len()
+    }
+
+    /// Number of passages that entered the CS.
+    pub fn total_entered(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.entered_rmrs.count() as usize
+    }
+
+    /// Maximum per-passage RMR count among entered passages.
+    pub fn max_entered_rmrs(&self) -> u64 {
+        self.inner.lock().unwrap().entered_rmrs.max()
+    }
+
+    /// Maximum per-passage RMR count among aborted attempts.
+    pub fn max_aborted_rmrs(&self) -> u64 {
+        self.inner.lock().unwrap().aborted_rmrs.max()
+    }
+
+    /// Mean RMRs over entered passages.
+    pub fn mean_entered_rmrs(&self) -> f64 {
+        self.inner.lock().unwrap().entered_rmrs.mean()
+    }
+
+    /// Histograms + amortized totals for the whole run.
+    pub fn summary(&self) -> PassageSummary {
+        let inner = self.inner.lock().unwrap();
+        let total = inner.entered_rmrs.count() + inner.aborted_rmrs.count();
+        let total_rmrs = inner.entered_rmrs.sum() + inner.aborted_rmrs.sum();
+        PassageSummary {
+            entered: inner.entered_rmrs.count(),
+            aborted: inner.aborted_rmrs.count(),
+            max_entered_rmrs: inner.entered_rmrs.max(),
+            p50_entered_rmrs: inner.entered_rmrs.quantile(0.50),
+            p99_entered_rmrs: inner.entered_rmrs.quantile(0.99),
+            mean_entered_rmrs: inner.entered_rmrs.mean(),
+            max_aborted_rmrs: inner.aborted_rmrs.max(),
+            amortized_rmrs: if total == 0 {
+                0.0
+            } else {
+                total_rmrs as f64 / total as f64
+            },
+            max_entered_ops: inner.entered_ops.max(),
+        }
+    }
+
+    /// Clone of the entered-passage RMR histogram.
+    pub fn entered_rmr_histogram(&self) -> Histogram {
+        self.inner.lock().unwrap().entered_rmrs.clone()
+    }
+
+    fn slot(inner: &mut Inner, p: Pid) -> &mut InFlight {
+        if inner.inflight.len() <= p {
+            inner.inflight.resize(p + 1, InFlight::default());
+            inner.attempts.resize(p + 1, 0);
+        }
+        &mut inner.inflight[p]
+    }
+
+    fn finalize(inner: &mut Inner, p: Pid, entered: bool) {
+        let fl = *Self::slot(inner, p);
+        if !fl.active {
+            return;
+        }
+        inner.inflight[p] = InFlight::default();
+        let attempt = inner.attempts[p];
+        inner.attempts[p] += 1;
+        if entered {
+            inner.entered_rmrs.record(fl.rmrs);
+            inner.entered_ops.record(fl.ops);
+        } else {
+            inner.aborted_rmrs.record(fl.rmrs);
+        }
+        inner.records.push(PassageRecord {
+            pid: p,
+            attempt,
+            entered,
+            rmrs: fl.rmrs,
+            ops: fl.ops,
+            ticket: fl.ticket,
+        });
+    }
+}
+
+impl Probe for PassageStats {
+    fn enter_begin(&self, p: Pid) {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = Self::slot(&mut inner, p);
+        *slot = InFlight {
+            active: true,
+            ..InFlight::default()
+        };
+    }
+
+    fn enter_end(&self, p: Pid, ticket: Option<u64>) {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = Self::slot(&mut inner, p);
+        slot.entered = true;
+        slot.ticket = ticket;
+    }
+
+    fn cs_exit(&self, p: Pid) {
+        let mut inner = self.inner.lock().unwrap();
+        Self::finalize(&mut inner, p, true);
+    }
+
+    fn abort(&self, p: Pid, ticket: Option<u64>) {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = Self::slot(&mut inner, p);
+        if slot.ticket.is_none() {
+            slot.ticket = ticket;
+        }
+        Self::finalize(&mut inner, p, false);
+    }
+
+    fn rmr(&self, p: Pid, _kind: OpKind) {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = Self::slot(&mut inner, p);
+        if slot.active {
+            slot.rmrs += 1;
+        }
+    }
+
+    fn op(&self, p: Pid, _kind: OpKind) {
+        let mut inner = self.inner.lock().unwrap();
+        let slot = Self::slot(&mut inner, p);
+        if slot.active {
+            slot.ops += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn passage(stats: &PassageStats, p: Pid, rmrs: u64, entered: bool) {
+        stats.enter_begin(p);
+        for _ in 0..rmrs {
+            stats.op(p, OpKind::Read);
+            stats.rmr(p, OpKind::Read);
+        }
+        if entered {
+            stats.enter_end(p, Some(p as u64));
+            stats.cs_exit(p);
+        } else {
+            stats.abort(p, Some(p as u64));
+        }
+    }
+
+    #[test]
+    fn records_accumulate_in_completion_order() {
+        let stats = PassageStats::new();
+        passage(&stats, 0, 3, true);
+        passage(&stats, 1, 9, false);
+        passage(&stats, 0, 5, true);
+        let recs = stats.records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!((recs[0].pid, recs[0].attempt, recs[0].rmrs), (0, 0, 3));
+        assert_eq!((recs[1].pid, recs[1].entered), (1, false));
+        assert_eq!((recs[2].pid, recs[2].attempt, recs[2].rmrs), (0, 1, 5));
+        assert_eq!(stats.total_entered(), 2);
+        assert_eq!(stats.max_entered_rmrs(), 5);
+        assert_eq!(stats.max_aborted_rmrs(), 9);
+        assert!((stats.mean_entered_rmrs() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_amortizes_over_all_passages() {
+        let stats = PassageStats::new();
+        passage(&stats, 0, 2, true);
+        passage(&stats, 1, 4, false);
+        let s = stats.summary();
+        assert_eq!(s.entered, 1);
+        assert_eq!(s.aborted, 1);
+        assert!((s.amortized_rmrs - 3.0).abs() < 1e-9);
+        assert_eq!(s.max_entered_ops, 2);
+        assert_eq!(s.p50_entered_rmrs, 2);
+    }
+
+    #[test]
+    fn ops_outside_a_passage_are_ignored() {
+        let stats = PassageStats::new();
+        stats.op(0, OpKind::Read);
+        stats.rmr(0, OpKind::Read);
+        passage(&stats, 0, 1, true);
+        assert_eq!(stats.records()[0].rmrs, 1);
+        // A stray cs_exit with no open passage is a no-op.
+        stats.cs_exit(0);
+        assert_eq!(stats.total_passages(), 1);
+    }
+
+    #[test]
+    fn tickets_survive_into_records() {
+        let stats = PassageStats::new();
+        passage(&stats, 3, 0, true);
+        assert_eq!(stats.records()[0].ticket, Some(3));
+    }
+
+    #[test]
+    fn clones_are_handles_on_shared_state() {
+        let stats = PassageStats::new();
+        let handle = stats.clone();
+        passage(&handle, 0, 2, true);
+        assert_eq!(stats.total_passages(), 1);
+        assert_eq!(stats.max_entered_rmrs(), 2);
+    }
+}

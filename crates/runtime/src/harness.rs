@@ -1,13 +1,21 @@
-//! Lock workload harness: drive any [`Lock`] through the simulator and
-//! collect per-passage RMR statistics and safety-check results — the
-//! engine behind every Table-1 and figure experiment.
+//! Lock workload harness: drive any [`AbortableLock`] through the
+//! simulator and collect per-passage RMR statistics and safety-check
+//! results — the engine behind every Table-1 and figure experiment.
+//!
+//! All passage accounting flows through a [`sal_obs::PassageStats`]
+//! probe attached to the lock; callers can attach additional sinks
+//! (an [`sal_obs::EventLog`], a [`sal_obs::FairnessMonitor`], …) with
+//! [`run_lock_probed`] / [`run_one_shot_probed`] and every hook fans
+//! out to them from the same execution. The sinks are cheap cloneable
+//! handles: pass `sink.clone()` in and keep the original to read the
+//! results afterwards.
 
 use crate::events::{EventKind, FcfsViolation, MutexViolation};
 use crate::schedule::SchedulePolicy;
 use crate::sim::{simulate, SimError, SimOptions};
-use sal_core::Lock;
-use sal_memory::{AbortSignal, Mem, Pid, SignalFn, WordId};
-use std::sync::Mutex;
+use sal_core::AbortableLock;
+use sal_memory::{AbortSignal, Mem, SignalFn, WordId};
+use sal_obs::{NoProbe, PassageRecord, PassageStats, Probe, ProbedMem};
 
 /// What one process does with its passages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -71,25 +79,15 @@ impl WorkloadSpec {
     }
 }
 
-/// Statistics for one passage attempt.
-#[derive(Debug, Clone, Copy)]
-pub struct PassageStats {
-    /// The attempting process.
-    pub pid: Pid,
-    /// 0-based attempt index of this process.
-    pub attempt: usize,
-    /// Whether the CS was entered (vs. aborted).
-    pub entered: bool,
-    /// RMRs incurred across `enter` + CS + `exit` (or across the aborted
-    /// `enter`).
-    pub rmrs: u64,
-}
-
 /// Everything measured during one workload run.
 #[derive(Debug)]
 pub struct WorkloadReport {
-    /// Per-passage statistics, in completion order.
-    pub passages: Vec<PassageStats>,
+    /// Per-passage statistics, in completion order (a snapshot of
+    /// [`stats`](Self::stats)'s records).
+    pub passages: Vec<PassageRecord>,
+    /// The full accounting sink the run was measured through: per-
+    /// passage RMR and step-latency histograms, amortized totals.
+    pub stats: PassageStats,
     /// Total shared-memory steps.
     pub steps: u64,
     /// Mutual-exclusion check over the event log.
@@ -106,41 +104,22 @@ pub struct WorkloadReport {
 impl WorkloadReport {
     /// Maximum per-passage RMR count among *entered* passages.
     pub fn max_entered_rmrs(&self) -> u64 {
-        self.passages
-            .iter()
-            .filter(|p| p.entered)
-            .map(|p| p.rmrs)
-            .max()
-            .unwrap_or(0)
+        self.stats.max_entered_rmrs()
     }
 
     /// Maximum per-passage RMR count among *aborted* passages.
     pub fn max_aborted_rmrs(&self) -> u64 {
-        self.passages
-            .iter()
-            .filter(|p| !p.entered)
-            .map(|p| p.rmrs)
-            .max()
-            .unwrap_or(0)
+        self.stats.max_aborted_rmrs()
     }
 
     /// Mean RMRs over entered passages.
     pub fn mean_entered_rmrs(&self) -> f64 {
-        let (sum, count) = self
-            .passages
-            .iter()
-            .filter(|p| p.entered)
-            .fold((0u64, 0u64), |(s, c), p| (s + p.rmrs, c + 1));
-        if count == 0 {
-            0.0
-        } else {
-            sum as f64 / count as f64
-        }
+        self.stats.mean_entered_rmrs()
     }
 
     /// Number of passages that entered the CS.
     pub fn total_entered(&self) -> usize {
-        self.passages.iter().filter(|p| p.entered).count()
+        self.stats.total_entered()
     }
 
     /// Panic unless mutual exclusion held.
@@ -160,62 +139,89 @@ impl WorkloadReport {
 /// Propagates [`SimError`] (step-limit ⇒ livelock/starvation, or a body
 /// panic such as a capacity assertion).
 pub fn run_lock<M: Mem + ?Sized>(
-    lock: &dyn Lock,
+    lock: &dyn AbortableLock,
     mem: &M,
     cs_word: WordId,
     spec: &WorkloadSpec,
     policy: Box<dyn SchedulePolicy>,
 ) -> Result<WorkloadReport, SimError> {
-    run_inner(lock, mem, cs_word, spec, policy, false)
+    run_inner(lock, mem, cs_word, spec, policy, false, NoProbe)
 }
 
-/// Like [`run_lock`], but additionally records doorway tickets so that
-/// the FCFS check is meaningful. Requires a lock whose `enter` is the
-/// one-shot algorithm (ticket = order of doorway completion); the ticket
-/// is inferred as the number of doorway events recorded so far, which is
-/// correct because the simulator serializes steps and the doorway is the
-/// first shared-memory operation of `enter`.
+/// [`run_lock`] with an extra probe sink: every passage hook the run
+/// generates is fanned out to `probe` as well as the report's internal
+/// [`PassageStats`]. Pass a clone of a sink handle (or an
+/// `Arc<impl Probe>`) and keep the original for reading.
+pub fn run_lock_probed<M: Mem + ?Sized, U: Probe + 'static>(
+    lock: &dyn AbortableLock,
+    mem: &M,
+    cs_word: WordId,
+    spec: &WorkloadSpec,
+    policy: Box<dyn SchedulePolicy>,
+    probe: U,
+) -> Result<WorkloadReport, SimError> {
+    run_inner(lock, mem, cs_word, spec, policy, false, probe)
+}
+
+/// Like [`run_lock`], but additionally records doorway tickets (as
+/// reported by [`AbortableLock::enter`]'s [`Outcome`](sal_core::Outcome))
+/// so that the FCFS check is meaningful. Use with locks that have an
+/// FCFS doorway — the one-shot locks.
 pub fn run_one_shot<M: Mem + ?Sized>(
-    lock: &dyn Lock,
+    lock: &dyn AbortableLock,
     mem: &M,
     cs_word: WordId,
     spec: &WorkloadSpec,
     policy: Box<dyn SchedulePolicy>,
 ) -> Result<WorkloadReport, SimError> {
-    run_inner(lock, mem, cs_word, spec, policy, true)
+    run_inner(lock, mem, cs_word, spec, policy, true, NoProbe)
 }
 
-fn run_inner<M: Mem + ?Sized>(
-    lock: &dyn Lock,
+/// [`run_one_shot`] with an extra probe sink.
+pub fn run_one_shot_probed<M: Mem + ?Sized, U: Probe + 'static>(
+    lock: &dyn AbortableLock,
+    mem: &M,
+    cs_word: WordId,
+    spec: &WorkloadSpec,
+    policy: Box<dyn SchedulePolicy>,
+    probe: U,
+) -> Result<WorkloadReport, SimError> {
+    run_inner(lock, mem, cs_word, spec, policy, true, probe)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_inner<M: Mem + ?Sized, U: Probe + 'static>(
+    lock: &dyn AbortableLock,
     mem: &M,
     cs_word: WordId,
     spec: &WorkloadSpec,
     policy: Box<dyn SchedulePolicy>,
     doorway_tickets: bool,
+    user_probe: U,
 ) -> Result<WorkloadReport, SimError> {
     let nprocs = spec.plans.len();
-    let stats: Mutex<Vec<PassageStats>> = Mutex::new(Vec::new());
+    let stats = PassageStats::new();
+    // An owned pair of sinks: `&probe` coerces to `&dyn Probe` (the
+    // trait-object lock API requires a `'static` probe type).
+    let probe = (stats.clone(), user_probe);
     let opts = SimOptions {
         max_steps: spec.max_steps,
         abort_plan: vec![],
     };
     let report = simulate(mem, nprocs, policy, opts, |ctx| {
         let plan = spec.plans[ctx.pid];
-        for attempt in 0..plan.passages {
+        for _attempt in 0..plan.passages {
             ctx.event(EventKind::EnterStart);
-            let rmrs_before = ctx.mem.rmrs(ctx.pid);
             let do_enter = |signal: &dyn AbortSignal| {
+                let outcome = lock.enter(ctx.mem, ctx.pid, signal, &probe);
                 if doorway_tickets {
-                    let (entered, ticket) = lock.enter_ticketed(ctx.mem, ctx.pid, signal);
-                    if let Some(t) = ticket {
+                    if let Some(t) = outcome.ticket() {
                         // Ticket *values* (not event positions) drive the
                         // FCFS check, so post-enter recording is sound.
                         ctx.event(EventKind::Doorway(t));
                     }
-                    entered
-                } else {
-                    lock.enter(ctx.mem, ctx.pid, signal)
                 }
+                outcome.entered()
             };
             let entered = match plan.role {
                 Role::Normal => do_enter(&sal_memory::NeverAbort),
@@ -228,28 +234,24 @@ fn run_inner<M: Mem + ?Sized>(
             };
             if entered {
                 ctx.event(EventKind::CsEnter);
+                // The CS body also routes through the probe, so CS RMRs
+                // land in the (still open) passage.
+                let pm = ProbedMem::new(ctx.mem, &probe);
                 for _ in 0..spec.cs_ops {
-                    ctx.mem.faa(ctx.pid, cs_word, 1);
+                    pm.faa(ctx.pid, cs_word, 1);
                 }
                 ctx.event(EventKind::CsLeave);
-                lock.exit(ctx.mem, ctx.pid);
+                lock.exit(ctx.mem, ctx.pid, &probe);
                 ctx.event(EventKind::ExitDone);
             } else {
                 ctx.event(EventKind::Aborted);
             }
-            stats.lock().unwrap().push(PassageStats {
-                pid: ctx.pid,
-                attempt,
-                entered,
-                rmrs: ctx.mem.rmrs(ctx.pid) - rmrs_before,
-            });
         }
     })?;
 
-    // The doorway-ticket trick is only valid for one-shot locks where
-    // the first step of enter is the F&A; the caller opted in.
     Ok(WorkloadReport {
-        passages: stats.into_inner().unwrap(),
+        passages: stats.records(),
+        stats,
         steps: report.steps,
         mutex_check: report.log.check_mutual_exclusion(),
         fcfs_check: report.log.check_fcfs(),
@@ -337,5 +339,30 @@ mod tests {
         assert!(report.passages.iter().all(|p| p.rmrs > 0));
         assert!(report.max_entered_rmrs() >= 1);
         assert!(report.mean_entered_rmrs() > 0.0);
+        // The probe-fed sink and the cost model agree in aggregate: every
+        // RMR in the run happened inside some passage.
+        let total: u64 = report.passages.iter().map(|p| p.rmrs).sum();
+        assert_eq!(total, mem.total_rmrs());
+    }
+
+    #[test]
+    fn extra_probe_sinks_observe_the_same_run() {
+        let (lock, cs, mem) = one_shot(4, 2);
+        let spec = WorkloadSpec::uniform(4, 1);
+        let fairness = sal_obs::FairnessMonitor::new();
+        let report = run_one_shot_probed(
+            &lock,
+            &mem,
+            cs,
+            &spec,
+            Box::new(RandomSchedule::seeded(3)),
+            fairness.clone(),
+        )
+        .unwrap();
+        report.assert_safe();
+        assert!(fairness.is_fcfs());
+        assert_eq!(report.fcfs_check.is_ok(), fairness.is_fcfs());
+        let per_proc = fairness.per_process();
+        assert_eq!(per_proc.iter().map(|p| p.entered).sum::<u64>(), 4);
     }
 }

@@ -11,11 +11,17 @@
 //! * [`simulate`] — run `N` process bodies to completion under a policy,
 //!   with external abort-signal injection and a step-limit
 //!   livelock/starvation detector. Deterministic given the policy.
+//!   [`simulate_probed`] additionally reports abort injections to an
+//!   [`sal_obs::Probe`].
 //! * [`EventLog`] — step-stamped protocol events with post-hoc checkers
 //!   for mutual exclusion and FCFS.
 //! * [`run_lock`]/[`run_one_shot`] — a workload harness over any
-//!   [`sal_core::Lock`]: roles (normal / aborting), per-passage RMR
-//!   accounting, safety verdicts.
+//!   [`sal_core::AbortableLock`]: roles (normal / aborting), per-passage
+//!   RMR accounting through [`sal_obs::PassageStats`], safety verdicts.
+//!   The `_probed` variants fan every passage hook out to caller-supplied
+//!   sinks as well.
+//! * [`SmallRng`] — the workspace's own seeded PRNG (the build
+//!   environment is offline, so randomness is home-grown).
 //!
 //! ## Example: 4 processes race for the one-shot lock
 //!
@@ -44,6 +50,7 @@ mod explore;
 mod gate;
 mod harness;
 mod replay;
+mod rng;
 mod schedule;
 mod sim;
 
@@ -51,10 +58,12 @@ pub use events::{Event, EventKind, EventLog, FcfsViolation, MutexViolation};
 pub use explore::{explore, ExplorationResult, ExploreOptions, ForcedSchedule};
 pub use gate::{StepGate, SteppedMem};
 pub use harness::{
-    run_lock, run_one_shot, PassageStats, ProcPlan, Role, WorkloadReport, WorkloadSpec,
+    run_lock, run_lock_probed, run_one_shot, run_one_shot_probed, ProcPlan, Role, WorkloadReport,
+    WorkloadSpec,
 };
 pub use replay::{ParseRecordingError, Recorder, Recording, RecordingHandle, Replay};
+pub use rng::SmallRng;
 pub use schedule::{
     BurstySchedule, RandomSchedule, RoundRobin, SchedStatus, SchedulePolicy, Scripted,
 };
-pub use sim::{simulate, ProcCtx, SimError, SimOptions, SimReport};
+pub use sim::{simulate, simulate_probed, ProcCtx, SimError, SimOptions, SimReport};

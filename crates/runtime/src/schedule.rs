@@ -6,8 +6,7 @@
 //! interleaving coverage), and scripted prefixes (to pin down specific
 //! races such as the crossed-paths scenarios of Figure 2).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::SmallRng;
 use sal_memory::Pid;
 
 /// View of the simulation the policy may consult.
@@ -65,14 +64,14 @@ impl SchedulePolicy for RoundRobin {
 /// deterministic given the seed, fair with probability 1.
 #[derive(Debug)]
 pub struct RandomSchedule {
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl RandomSchedule {
     /// Random schedule from `seed`.
     pub fn seeded(seed: u64) -> Self {
         RandomSchedule {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
         }
     }
 }
@@ -92,7 +91,7 @@ impl SchedulePolicy for RandomSchedule {
 /// completing `Remove` while an exiter is mid-`FindNext`).
 #[derive(Debug)]
 pub struct BurstySchedule {
-    rng: StdRng,
+    rng: SmallRng,
     current: Option<Pid>,
     continue_prob: f64,
 }
@@ -103,7 +102,7 @@ impl BurstySchedule {
     pub fn seeded(seed: u64, continue_prob: f64) -> Self {
         assert!((0.0..1.0).contains(&continue_prob));
         BurstySchedule {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             current: None,
             continue_prob,
         }

@@ -23,7 +23,7 @@
 //! use sal_sync::AbortableMutex;
 //! use std::time::Duration;
 //!
-//! let mutex = AbortableMutex::with_capacity(0u64, 4);
+//! let mutex = AbortableMutex::builder(0u64).capacity(4).build();
 //! let mut h = mutex.handle();
 //! *h.lock() += 1;                                  // blocking acquire
 //! if let Some(mut g) = h.try_lock_for(Duration::from_millis(10)) {
@@ -31,11 +31,33 @@
 //! }
 //! assert_eq!(*h.lock(), 2);
 //! ```
+//!
+//! ## Opt-in observability
+//!
+//! The builder accepts any [`sal_obs::Probe`]; the mutex then reports
+//! passage lifecycle (and, under instrumented memories, RMR) events to
+//! it. With the default [`NoProbe`] every hook monomorphizes to a no-op
+//! — the uninstrumented fast path keeps its codegen.
+//!
+//! ```
+//! use sal_obs::PassageStats;
+//! use sal_sync::AbortableMutex;
+//!
+//! let stats = PassageStats::new();
+//! let mutex = AbortableMutex::builder(0u64)
+//!     .capacity(2)
+//!     .probe(stats.clone())
+//!     .build();
+//! let mut h = mutex.handle();
+//! *h.lock() += 1;
+//! assert_eq!(stats.total_entered(), 1);
+//! ```
 
 #![warn(missing_docs)]
 
 use sal_core::long_lived::BoundedLongLivedLock;
 use sal_memory::{AbortSignal, Deadline, Mem, MemoryBuilder, NeverAbort, Pid, RawMemory};
+use sal_obs::{NoProbe, Probe};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -44,8 +66,80 @@ use std::time::{Duration, Instant};
 
 pub use sal_memory::AbortFlag;
 
-/// Default thread capacity of [`AbortableMutex::new`].
+/// Default thread capacity of [`AbortableMutex::new`] and
+/// [`AbortableMutex::builder`].
 pub const DEFAULT_CAPACITY: usize = 64;
+
+/// Default branching factor of the underlying `W`-ary tree.
+const DEFAULT_BRANCHING: usize = 64;
+
+/// Configures and constructs an [`AbortableMutex`]: capacity, tree
+/// branching, and an optional [`Probe`] sink. Obtain with
+/// [`AbortableMutex::builder`].
+///
+/// ```
+/// use sal_sync::AbortableMutex;
+///
+/// let mutex = AbortableMutex::builder(String::new()).capacity(8).build();
+/// assert_eq!(mutex.capacity(), 8);
+/// ```
+#[derive(Debug)]
+pub struct AbortableMutexBuilder<T, P: Probe = NoProbe> {
+    value: T,
+    capacity: usize,
+    branching: usize,
+    probe: P,
+}
+
+impl<T, P: Probe> AbortableMutexBuilder<T, P> {
+    /// Maximum number of registered threads (`1 ..= 1022`). Space is
+    /// `O(capacity²)` words, per Claim 28. Defaults to
+    /// [`DEFAULT_CAPACITY`].
+    pub fn capacity(mut self, threads: usize) -> Self {
+        self.capacity = threads;
+        self
+    }
+
+    /// Branching factor `W` of the underlying tree (`2 ..= 64`).
+    /// Defaults to 64, the paper's `Θ(√(log N / log log N))`-optimal
+    /// word-width choice for realistic `N`.
+    pub fn branching(mut self, w: usize) -> Self {
+        self.branching = w;
+        self
+    }
+
+    /// Attach an observability sink: every passage of every handle
+    /// reports lifecycle events to `probe`. Pass a clone of a shared
+    /// sink handle (e.g. [`sal_obs::PassageStats`]) and keep the
+    /// original for reading.
+    pub fn probe<Q: Probe>(self, probe: Q) -> AbortableMutexBuilder<T, Q> {
+        AbortableMutexBuilder {
+            value: self.value,
+            capacity: self.capacity,
+            branching: self.branching,
+            probe,
+        }
+    }
+
+    /// Build the mutex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is 0 or exceeds the algorithm's descriptor
+    /// limit (1022), or if the branching factor is out of `2 ..= 64`.
+    pub fn build(self) -> AbortableMutex<T, P> {
+        let mut b = MemoryBuilder::new();
+        let lock = BoundedLongLivedLock::layout(&mut b, self.capacity, self.branching);
+        AbortableMutex {
+            mem: b.build_raw(self.capacity),
+            lock,
+            next_pid: AtomicUsize::new(0),
+            capacity: self.capacity,
+            probe: self.probe,
+            data: UnsafeCell::new(self.value),
+        }
+    }
+}
 
 /// A mutual-exclusion primitive protecting a `T`, with abortable
 /// acquisition, built on the PODC'18 sublogarithmic-RMR abortable lock.
@@ -53,63 +147,84 @@ pub const DEFAULT_CAPACITY: usize = 64;
 /// Unlike `std::sync::Mutex`, threads interact through per-thread
 /// [`MutexHandle`]s (the algorithm needs stable process identities);
 /// obtain one per thread with [`handle`](Self::handle).
-pub struct AbortableMutex<T: ?Sized> {
+///
+/// The second type parameter is the attached [`Probe`] sink; the default
+/// [`NoProbe`] compiles to the uninstrumented fast path. Configure with
+/// [`builder`](Self::builder).
+pub struct AbortableMutex<T: ?Sized, P: Probe = NoProbe> {
     mem: RawMemory,
     lock: BoundedLongLivedLock,
     next_pid: AtomicUsize,
     capacity: usize,
+    probe: P,
     data: UnsafeCell<T>,
 }
 
 // Safety: the lock algorithm provides mutual exclusion over `data`
 // (Lemma 26 / Theorem 23); handles hand out access only under the lock.
-unsafe impl<T: ?Sized + Send> Send for AbortableMutex<T> {}
-unsafe impl<T: ?Sized + Send> Sync for AbortableMutex<T> {}
+// `P: Probe` is already `Send + Sync`.
+unsafe impl<T: ?Sized + Send, P: Probe> Send for AbortableMutex<T, P> {}
+unsafe impl<T: ?Sized + Send, P: Probe> Sync for AbortableMutex<T, P> {}
 
 impl<T> AbortableMutex<T> {
+    /// Start configuring a mutex around `value` — capacity, branching
+    /// and probe are set on the returned [`AbortableMutexBuilder`].
+    pub fn builder(value: T) -> AbortableMutexBuilder<T> {
+        AbortableMutexBuilder {
+            value,
+            capacity: DEFAULT_CAPACITY,
+            branching: DEFAULT_BRANCHING,
+            probe: NoProbe,
+        }
+    }
+
     /// Create a mutex for up to [`DEFAULT_CAPACITY`] threads.
+    ///
+    /// Retained shim, equivalent to `AbortableMutex::builder(value)
+    /// .build()` — prefer the [`builder`](Self::builder), which also
+    /// exposes capacity, branching and probe attachment.
     pub fn new(value: T) -> Self {
-        Self::with_capacity(value, DEFAULT_CAPACITY)
+        Self::builder(value).build()
     }
 
     /// Create a mutex for up to `threads` registered threads
     /// (`1 ..= 1022`). Space is `O(threads²)` words, per Claim 28.
+    ///
+    /// Retained shim, equivalent to `AbortableMutex::builder(value)
+    /// .capacity(threads).build()` — prefer the
+    /// [`builder`](Self::builder).
     ///
     /// # Panics
     ///
     /// Panics if `threads` is 0 or exceeds the algorithm's descriptor
     /// capacity (1022).
     pub fn with_capacity(value: T, threads: usize) -> Self {
-        let mut b = MemoryBuilder::new();
-        let lock = BoundedLongLivedLock::layout(&mut b, threads, 64);
-        AbortableMutex {
-            mem: b.build_raw(threads),
-            lock,
-            next_pid: AtomicUsize::new(0),
-            capacity: threads,
-            data: UnsafeCell::new(value),
-        }
+        Self::builder(value).capacity(threads).build()
     }
+}
 
+impl<T, P: Probe> AbortableMutex<T, P> {
+    /// Consume the mutex and return the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized, P: Probe> AbortableMutex<T, P> {
     /// Register the calling context and get a handle. Each handle owns
     /// one of the `capacity` process slots for the mutex's lifetime.
     ///
     /// # Panics
     ///
     /// Panics when more handles are requested than the capacity allows.
-    pub fn handle(&self) -> MutexHandle<'_, T> {
+    pub fn handle(&self) -> MutexHandle<'_, T, P> {
         let pid = self.next_pid.fetch_add(1, Ordering::Relaxed);
         assert!(
             pid < self.capacity,
-            "AbortableMutex capacity ({}) exceeded; build with a larger with_capacity",
+            "AbortableMutex capacity ({}) exceeded; build with a larger capacity",
             self.capacity
         );
         MutexHandle { mutex: self, pid }
-    }
-
-    /// Consume the mutex and return the protected value.
-    pub fn into_inner(self) -> T {
-        self.data.into_inner()
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -127,9 +242,14 @@ impl<T> AbortableMutex<T> {
     pub fn shared_words(&self) -> usize {
         self.mem.num_words()
     }
+
+    /// The attached probe sink.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
 }
 
-impl<T: fmt::Debug> fmt::Debug for AbortableMutex<T> {
+impl<T: fmt::Debug, P: Probe> fmt::Debug for AbortableMutex<T, P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AbortableMutex")
             .field("capacity", &self.capacity)
@@ -154,12 +274,12 @@ impl<T> From<T> for AbortableMutex<T> {
 /// [`AbortableMutex::handle`]; move it to the thread that will use it.
 /// Locking takes `&mut self`, so the borrow checker rules out re-entrant
 /// acquisition through the same handle.
-pub struct MutexHandle<'m, T: ?Sized> {
-    mutex: &'m AbortableMutex<T>,
+pub struct MutexHandle<'m, T: ?Sized, P: Probe = NoProbe> {
+    mutex: &'m AbortableMutex<T, P>,
     pid: Pid,
 }
 
-impl<T: ?Sized> fmt::Debug for MutexHandle<'_, T> {
+impl<T: ?Sized, P: Probe> fmt::Debug for MutexHandle<'_, T, P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("MutexHandle")
             .field("pid", &self.pid)
@@ -167,18 +287,20 @@ impl<T: ?Sized> fmt::Debug for MutexHandle<'_, T> {
     }
 }
 
-impl<'m, T: ?Sized> MutexHandle<'m, T> {
+impl<'m, T: ?Sized, P: Probe> MutexHandle<'m, T, P> {
     /// The process slot this handle occupies (diagnostic).
     pub fn pid(&self) -> Pid {
         self.pid
     }
 
     /// Acquire the lock, waiting as long as it takes.
-    pub fn lock(&mut self) -> MutexGuard<'_, 'm, T> {
-        let entered = self
-            .mutex
-            .lock
-            .enter(&self.mutex.mem, self.pid, &NeverAbort);
+    pub fn lock(&mut self) -> MutexGuard<'_, 'm, T, P> {
+        let entered = self.mutex.lock.enter_probed(
+            &self.mutex.mem,
+            self.pid,
+            &NeverAbort,
+            &self.mutex.probe,
+        );
         debug_assert!(entered, "non-abortable enter cannot fail");
         MutexGuard {
             handle: self,
@@ -193,8 +315,12 @@ impl<'m, T: ?Sized> MutexHandle<'m, T> {
     pub fn lock_abortable(
         &mut self,
         signal: &(impl AbortSignal + ?Sized),
-    ) -> Option<MutexGuard<'_, 'm, T>> {
-        if self.mutex.lock.enter(&self.mutex.mem, self.pid, &signal) {
+    ) -> Option<MutexGuard<'_, 'm, T, P>> {
+        if self
+            .mutex
+            .lock
+            .enter_probed(&self.mutex.mem, self.pid, &signal, &self.mutex.probe)
+        {
             Some(MutexGuard {
                 handle: self,
                 _marker: std::marker::PhantomData,
@@ -205,12 +331,12 @@ impl<'m, T: ?Sized> MutexHandle<'m, T> {
     }
 
     /// Acquire unless `timeout` elapses first.
-    pub fn try_lock_for(&mut self, timeout: Duration) -> Option<MutexGuard<'_, 'm, T>> {
+    pub fn try_lock_for(&mut self, timeout: Duration) -> Option<MutexGuard<'_, 'm, T, P>> {
         self.lock_abortable(&Deadline::after(timeout))
     }
 
     /// Acquire unless the deadline passes first.
-    pub fn try_lock_until(&mut self, deadline: Instant) -> Option<MutexGuard<'_, 'm, T>> {
+    pub fn try_lock_until(&mut self, deadline: Instant) -> Option<MutexGuard<'_, 'm, T, P>> {
         self.lock_abortable(&Deadline::at(deadline))
     }
 
@@ -218,7 +344,7 @@ impl<'m, T: ?Sized> MutexHandle<'m, T> {
     /// observed held. (Like the paper's `Enter` with a pre-fired signal:
     /// if the lock is handed over before the first wait, the acquisition
     /// still succeeds.)
-    pub fn try_lock(&mut self) -> Option<MutexGuard<'_, 'm, T>> {
+    pub fn try_lock(&mut self) -> Option<MutexGuard<'_, 'm, T, P>> {
         struct Now;
         impl AbortSignal for Now {
             fn is_set(&self) -> bool {
@@ -234,8 +360,8 @@ impl<'m, T: ?Sized> MutexHandle<'m, T> {
 /// Like `std::sync::MutexGuard`: `Sync` only when `T: Sync` (sharing
 /// `&MutexGuard` hands out `&T` across threads), and not `Send` (the
 /// guard releases through the per-thread handle it borrows).
-pub struct MutexGuard<'h, 'm, T: ?Sized> {
-    handle: &'h mut MutexHandle<'m, T>,
+pub struct MutexGuard<'h, 'm, T: ?Sized, P: Probe = NoProbe> {
+    handle: &'h mut MutexHandle<'m, T, P>,
     /// Suppresses the auto `Send`/`Sync` impls, which would otherwise be
     /// derived from the handle reference and wrongly make the guard
     /// `Sync` for any `T: Send` (unsound for `T = Cell<_>` etc.).
@@ -244,9 +370,9 @@ pub struct MutexGuard<'h, 'm, T: ?Sized> {
 
 // Safety: `&MutexGuard<T>` only exposes `&T` (plus lock bookkeeping that
 // is itself thread-safe), so sharing requires exactly `T: Sync`.
-unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, '_, T> {}
+unsafe impl<T: ?Sized + Sync, P: Probe> Sync for MutexGuard<'_, '_, T, P> {}
 
-impl<T: ?Sized> Deref for MutexGuard<'_, '_, T> {
+impl<T: ?Sized, P: Probe> Deref for MutexGuard<'_, '_, T, P> {
     type Target = T;
 
     fn deref(&self) -> &T {
@@ -255,23 +381,24 @@ impl<T: ?Sized> Deref for MutexGuard<'_, '_, T> {
     }
 }
 
-impl<T: ?Sized> DerefMut for MutexGuard<'_, '_, T> {
+impl<T: ?Sized, P: Probe> DerefMut for MutexGuard<'_, '_, T, P> {
     fn deref_mut(&mut self) -> &mut T {
         // Safety: we hold the lock exclusively.
         unsafe { &mut *self.handle.mutex.data.get() }
     }
 }
 
-impl<T: ?Sized> Drop for MutexGuard<'_, '_, T> {
+impl<T: ?Sized, P: Probe> Drop for MutexGuard<'_, '_, T, P> {
     fn drop(&mut self) {
-        self.handle
-            .mutex
-            .lock
-            .exit(&self.handle.mutex.mem, self.handle.pid);
+        self.handle.mutex.lock.exit_probed(
+            &self.handle.mutex.mem,
+            self.handle.pid,
+            &self.handle.mutex.probe,
+        );
     }
 }
 
-impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, '_, T> {
+impl<T: ?Sized + fmt::Debug, P: Probe> fmt::Debug for MutexGuard<'_, '_, T, P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("MutexGuard").field(&&**self).finish()
     }
@@ -418,6 +545,64 @@ mod tests {
         let m2: AbortableMutex<u8> = 7u8.into();
         let mut h = m2.handle();
         assert_eq!(*h.lock(), 7);
+    }
+
+    #[test]
+    fn builder_configures_capacity_and_branching() {
+        let narrow = AbortableMutex::builder(()).capacity(4).branching(2).build();
+        let wide = AbortableMutex::builder(()).capacity(4).branching(64).build();
+        assert_eq!(narrow.capacity(), 4);
+        // A binary tree over the same leaves needs more words than a
+        // 64-ary one.
+        assert!(narrow.shared_words() > wide.shared_words());
+        let mut h = narrow.handle();
+        let _g = h.lock();
+    }
+
+    #[test]
+    fn builder_probe_observes_passages() {
+        let stats = sal_obs::PassageStats::new();
+        let log = sal_obs::EventLog::new(256);
+        let m = AbortableMutex::builder(0u64)
+            .capacity(2)
+            .probe((stats.clone(), log.clone()))
+            .build();
+        let mut h = m.handle();
+        for _ in 0..3 {
+            *h.lock() += 1;
+        }
+        drop(h.try_lock().expect("uncontended try_lock succeeds"));
+        assert_eq!(stats.total_entered(), 4);
+        // Raw atomics report no RMR counts — lifecycle is still exact.
+        assert!(stats.records().iter().all(|r| r.rmrs == 0 && r.entered));
+        let events = log.events();
+        let begins = events
+            .iter()
+            .filter(|e| e.kind == sal_obs::ObsEventKind::EnterBegin)
+            .count();
+        let exits = events
+            .iter()
+            .filter(|e| e.kind == sal_obs::ObsEventKind::CsExit)
+            .count();
+        assert_eq!((begins, exits), (4, 4));
+        assert_eq!(m.probe().0.total_entered(), 4);
+    }
+
+    #[test]
+    fn aborted_attempts_are_recorded_by_the_probe() {
+        let stats = sal_obs::PassageStats::new();
+        let m = AbortableMutex::builder(())
+            .capacity(2)
+            .probe(stats.clone())
+            .build();
+        let mut a = m.handle();
+        let mut b = m.handle();
+        let g = a.lock();
+        assert!(b.try_lock().is_none());
+        drop(g);
+        let summary = stats.summary();
+        assert_eq!(summary.entered, 1);
+        assert_eq!(summary.aborted, 1);
     }
 }
 

@@ -110,13 +110,17 @@ fn heavier_contention_spot_checks() {
 #[test]
 fn non_abortable_locks_ignore_signals() {
     use sal_memory::{AbortFlag, AbortSignal};
+    use sal_obs::NoProbe;
     for kind in [LockKind::Mcs, LockKind::Ticket] {
         let built = build_lock(kind, 2, 4);
         let sig = AbortFlag::new();
         sig.set();
         assert!(sig.is_set());
-        assert!(built.lock.enter(&built.mem, 0, &sig), "{kind:?}");
-        built.lock.exit(&built.mem, 0);
+        assert!(
+            built.lock.enter(&built.mem, 0, &sig, &NoProbe).entered(),
+            "{kind:?}"
+        );
+        built.lock.exit(&built.mem, 0, &NoProbe);
         assert!(!built.lock.is_abortable());
     }
 }
@@ -126,6 +130,7 @@ fn non_abortable_locks_ignore_signals() {
 #[test]
 fn pre_fired_signal_aborts_promptly_when_held() {
     use sal_memory::{AbortFlag, NeverAbort};
+    use sal_obs::NoProbe;
     for kind in all_kinds() {
         if !kind.abortable() || kind.one_shot() {
             // (one-shot kinds covered in their own crates' tests; here
@@ -135,19 +140,28 @@ fn pre_fired_signal_aborts_promptly_when_held() {
             continue;
         }
         let built = build_lock(kind, 3, 8);
-        assert!(built.lock.enter(&built.mem, 0, &NeverAbort));
+        assert!(built
+            .lock
+            .enter(&built.mem, 0, &NeverAbort, &NoProbe)
+            .entered());
         let sig = AbortFlag::new();
         sig.set();
         let before = built.mem.ops(1);
-        let entered = built.lock.enter(&built.mem, 1, &sig);
-        assert!(!entered, "{kind:?}: should abort while lock is held");
+        let outcome = built.lock.enter(&built.mem, 1, &sig, &NoProbe);
+        assert!(
+            outcome.aborted(),
+            "{kind:?}: should abort while lock is held"
+        );
         assert!(
             built.mem.ops(1) - before < 500,
             "{kind:?}: abort was not bounded"
         );
-        built.lock.exit(&built.mem, 0);
+        built.lock.exit(&built.mem, 0, &NoProbe);
         // Lock remains usable by a third process.
-        assert!(built.lock.enter(&built.mem, 2, &NeverAbort), "{kind:?}");
-        built.lock.exit(&built.mem, 2);
+        assert!(
+            built.lock.enter(&built.mem, 2, &NeverAbort, &NoProbe).entered(),
+            "{kind:?}"
+        );
+        built.lock.exit(&built.mem, 2, &NoProbe);
     }
 }

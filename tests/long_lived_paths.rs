@@ -5,7 +5,6 @@
 //! model checks genuinely cover them.
 
 use sal_core::long_lived::BoundedLongLivedLock;
-use sal_core::Lock;
 use sal_memory::{Mem, MemoryBuilder, NeverAbort};
 use sal_runtime::{simulate, BurstySchedule, RandomSchedule, SimOptions};
 
@@ -30,9 +29,9 @@ fn run_contended(seed: u64, bursty: bool) -> (u64, u64, u64, u64) {
         },
         |ctx| {
             for _ in 0..6 {
-                assert!(Lock::enter(&lock, ctx.mem, ctx.pid, &NeverAbort));
+                assert!(lock.enter(ctx.mem, ctx.pid, &NeverAbort));
                 ctx.mem.faa(ctx.pid, cs, 1);
-                Lock::exit(&lock, ctx.mem, ctx.pid);
+                lock.exit(ctx.mem, ctx.pid);
             }
         },
     )
@@ -82,8 +81,8 @@ fn solo_runs_switch_without_spinning() {
     let lock = BoundedLongLivedLock::layout(&mut b, 1, 2);
     let mem = b.build_cc(1);
     for _ in 0..10 {
-        assert!(Lock::enter(&lock, &mem, 0, &NeverAbort));
-        Lock::exit(&lock, &mem, 0);
+        assert!(lock.enter(&mem, 0, &NeverAbort));
+        lock.exit(&mem, 0);
     }
     let (spins, _skips, switches, failures) = lock.stats().snapshot();
     assert_eq!(spins, 0, "a solo process never waits");

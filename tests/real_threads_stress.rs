@@ -7,8 +7,9 @@
 use sal_baselines::{LeeLock, McsLock, ScottLock, TournamentLock};
 use sal_core::long_lived::BoundedLongLivedLock;
 use sal_core::one_shot::OneShotLock;
-use sal_core::Lock;
-use sal_memory::{AbortFlag, Mem, MemoryBuilder, NeverAbort, RawMemory};
+use sal_core::AbortableLock;
+use sal_memory::{AbortFlag, MemoryBuilder, NeverAbort, RawMemory};
+use sal_obs::NoProbe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -16,7 +17,7 @@ use std::sync::Arc;
 /// CS entries with a plain (non-simulated) counter protected by the
 /// lock itself; returns (entered, aborted).
 fn hammer(
-    lock: Arc<dyn Lock>,
+    lock: Arc<dyn AbortableLock>,
     mem: Arc<RawMemory>,
     threads: usize,
     passages: usize,
@@ -51,9 +52,9 @@ fn hammer(
                         // Fire the signal after a tiny real-time delay
                         // from a helper knowing nothing of the lock.
                         flag.set();
-                        lock.enter(&*mem, p, &flag)
+                        lock.enter(&*mem, p, &flag, &NoProbe).entered()
                     } else {
-                        lock.enter(&*mem, p, &NeverAbort)
+                        lock.enter(&*mem, p, &NeverAbort, &NoProbe).entered()
                     };
                     if ok {
                         // Critical section: read-modify-write on the
@@ -65,7 +66,7 @@ fn hammer(
                             c.write(v + 1);
                         }
                         entered.fetch_add(1, Ordering::Relaxed);
-                        lock.exit(&*mem, p);
+                        lock.exit(&*mem, p, &NoProbe);
                     } else {
                         aborted.fetch_add(1, Ordering::Relaxed);
                     }

@@ -7,7 +7,6 @@
 use sal_core::long_lived::BoundedLongLivedLock;
 use sal_core::one_shot::OneShotLock;
 use sal_core::tree::Ascent;
-use sal_core::Lock;
 use sal_memory::{Mem, MemoryBuilder, SignalFn};
 use sal_runtime::{explore, simulate, EventKind, ExploreOptions, SimOptions};
 
@@ -34,18 +33,18 @@ fn one_shot_run(
         },
         |ctx| {
             let entered = match aborter_delay[ctx.pid] {
-                None => Lock::enter(&lock, ctx.mem, ctx.pid, &sal_memory::NeverAbort),
+                None => lock.enter(ctx.mem, ctx.pid, &sal_memory::NeverAbort).entered(),
                 Some(delay) => {
                     let deadline = ctx.steps() + delay;
                     let sig = SignalFn(|| ctx.steps() >= deadline);
-                    Lock::enter(&lock, ctx.mem, ctx.pid, &sig)
+                    lock.enter(ctx.mem, ctx.pid, &sig).entered()
                 }
             };
             if entered {
                 ctx.event(EventKind::CsEnter);
                 ctx.mem.faa(ctx.pid, cs, 1);
                 ctx.event(EventKind::CsLeave);
-                Lock::exit(&lock, ctx.mem, ctx.pid);
+                lock.exit(ctx.mem, ctx.pid);
             } else {
                 ctx.event(EventKind::Aborted);
             }
@@ -145,12 +144,12 @@ fn long_lived_two_processes_two_passages() {
                 },
                 |ctx| {
                     for _ in 0..2 {
-                        let entered = Lock::enter(&lock, ctx.mem, ctx.pid, &sal_memory::NeverAbort);
+                        let entered = lock.enter(ctx.mem, ctx.pid, &sal_memory::NeverAbort);
                         assert!(entered);
                         ctx.event(EventKind::CsEnter);
                         ctx.mem.faa(ctx.pid, cs, 1);
                         ctx.event(EventKind::CsLeave);
-                        Lock::exit(&lock, ctx.mem, ctx.pid);
+                        lock.exit(ctx.mem, ctx.pid);
                     }
                 },
             )

@@ -1,12 +1,16 @@
-//! Property-based tests (proptest) of the `Tree` data structure and the
-//! descriptor packings: sequential equivalence with a reference model,
-//! the Lemma-1 equivalence of the two ascents, the Remove invariant
-//! (Corollary 5), and pack/unpack round trips.
+//! Property-based tests (seeded random cases) of the `Tree` data
+//! structure and the descriptor packings: sequential equivalence with a
+//! reference model, the Lemma-1 equivalence of the two ascents, the
+//! Remove invariant (Corollary 5), and pack/unpack round trips.
+//!
+//! The build environment is offline, so instead of an external
+//! property-testing crate these run a deterministic `SmallRng` sweep:
+//! every case is reproducible from its printed seed.
 
-use proptest::prelude::*;
 use sal_core::long_lived::{SimpleDesc, TaggedDesc, VersionDesc};
 use sal_core::tree::{FindNextResult, Tree};
 use sal_memory::{Mem, MemoryBuilder};
+use sal_runtime::SmallRng;
 
 fn model_next(removed: &[bool], p: usize) -> FindNextResult {
     match (p + 1..removed.len()).find(|&q| !removed[q]) {
@@ -15,169 +19,203 @@ fn model_next(removed: &[bool], p: usize) -> FindNextResult {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Sequentially (no concurrency), FindNext(p) returns exactly the
-    /// first non-removed slot after p, for every branching factor.
-    #[test]
-    fn find_next_matches_reference_model(
-        n in 1usize..96,
-        b in 2usize..65,
-        removals in proptest::collection::vec(0usize..96, 0..96),
-        queries in proptest::collection::vec(0usize..96, 1..32),
-    ) {
-        let mut builder = MemoryBuilder::new();
-        let tree = Tree::layout(&mut builder, n, b);
-        let mem = builder.build_cc(1);
-        let mut removed = vec![false; n];
-        for r in removals {
-            let r = r % n;
-            if !removed[r] {
-                removed[r] = true;
-                tree.remove(&mem, 0, r as u64);
-            }
+/// Build a random tree state: returns `(tree, mem, removed)` with the
+/// removals already applied by process 0.
+fn random_state(
+    rng: &mut SmallRng,
+    n: usize,
+    b: usize,
+    nprocs: usize,
+    keep_last: bool,
+) -> (Tree, sal_memory::CcMemory, Vec<bool>) {
+    let mut builder = MemoryBuilder::new();
+    let tree = Tree::layout(&mut builder, n, b);
+    let mem = builder.build_cc(nprocs);
+    let mut removed = vec![false; n];
+    for _ in 0..rng.random_range(0..n + 1) {
+        let r = rng.random_range(0..n);
+        if keep_last && r == n - 1 {
+            continue;
         }
-        for q in queries {
-            let q = q % n;
-            let want = model_next(&removed, q);
-            prop_assert_eq!(tree.find_next(&mem, 0, q as u64), want);
+        if !removed[r] {
+            removed[r] = true;
+            tree.remove(&mem, 0, r as u64);
         }
     }
+    (tree, mem, removed)
+}
 
-    /// Lemma 1 (sequential projection): AdaptiveFindNext returns the
-    /// same result as FindNext in every quiescent state.
-    #[test]
-    fn adaptive_equals_plain_when_quiescent(
-        n in 1usize..96,
-        b in 2usize..65,
-        removals in proptest::collection::vec(0usize..96, 0..96),
-    ) {
-        let mut builder = MemoryBuilder::new();
-        let tree = Tree::layout(&mut builder, n, b);
-        let mem = builder.build_cc(2);
-        let mut removed = vec![false; n];
-        for r in removals {
-            let r = r % n;
-            if !removed[r] {
-                removed[r] = true;
-                tree.remove(&mem, 0, r as u64);
-            }
-        }
-        for p in 0..n as u64 {
-            prop_assert_eq!(
-                tree.adaptive_find_next(&mem, 1, p),
-                tree.find_next(&mem, 1, p),
-                "p = {}", p
+/// Sequentially (no concurrency), FindNext(p) returns exactly the first
+/// non-removed slot after p, for every branching factor.
+#[test]
+fn find_next_matches_reference_model() {
+    for seed in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.random_range(1..96);
+        let b = rng.random_range(2..65);
+        let (tree, mem, removed) = random_state(&mut rng, n, b, 1, false);
+        for _ in 0..rng.random_range(1..32) {
+            let q = rng.random_range(0..n);
+            let want = model_next(&removed, q);
+            assert_eq!(
+                tree.find_next(&mem, 0, q as u64),
+                want,
+                "seed {seed}, n={n}, b={b}, q={q}"
             );
         }
     }
+}
 
-    /// Remove invariant (Corollary 5, part 2): a slot whose Remove was
-    /// never invoked has all its bits clear — observable as: it is
-    /// always findable by its left neighbour.
-    #[test]
-    fn live_slots_remain_findable(
-        n in 2usize..64,
-        b in 2usize..17,
-        removals in proptest::collection::vec(0usize..64, 0..64),
-    ) {
-        let mut builder = MemoryBuilder::new();
-        let tree = Tree::layout(&mut builder, n, b);
-        let mem = builder.build_cc(1);
-        let mut removed = vec![false; n];
-        for r in removals {
-            let r = r % n;
-            // Keep slot n-1 alive so there is always a findable slot.
-            if r != n - 1 && !removed[r] {
-                removed[r] = true;
-                tree.remove(&mem, 0, r as u64);
-            }
+/// Lemma 1 (sequential projection): AdaptiveFindNext returns the same
+/// result as FindNext in every quiescent state.
+#[test]
+fn adaptive_equals_plain_when_quiescent() {
+    for seed in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.random_range(1..96);
+        let b = rng.random_range(2..65);
+        let (tree, mem, _removed) = random_state(&mut rng, n, b, 2, false);
+        for p in 0..n as u64 {
+            assert_eq!(
+                tree.adaptive_find_next(&mem, 1, p),
+                tree.find_next(&mem, 1, p),
+                "seed {seed}, n={n}, b={b}, p={p}"
+            );
         }
+    }
+}
+
+/// Remove invariant (Corollary 5, part 2): a slot whose Remove was never
+/// invoked has all its bits clear — observable as: it is always findable
+/// by its left neighbour.
+#[test]
+fn live_slots_remain_findable() {
+    for seed in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.random_range(2..64);
+        let b = rng.random_range(2..17);
+        // Keep slot n-1 alive so there is always a findable slot.
+        let (tree, mem, removed) = random_state(&mut rng, n, b, 1, true);
         // From any slot, repeatedly following FindNext visits exactly
         // the live slots, in order.
         let mut cur = 0u64;
-        if removed[0] {
-            // start from the first live slot
-            while removed[cur as usize] {
-                cur += 1;
-            }
+        while removed[cur as usize] {
+            cur += 1;
         }
         let mut visited = vec![cur];
         loop {
             match tree.find_next(&mem, 0, cur) {
                 FindNextResult::Next(q) => {
-                    prop_assert!(!removed[q as usize], "returned a removed slot");
+                    assert!(!removed[q as usize], "seed {seed}: returned a removed slot");
                     visited.push(q);
                     cur = q;
                 }
                 FindNextResult::Bottom => break,
-                FindNextResult::Top => prop_assert!(false, "⊤ without concurrency"),
+                FindNextResult::Top => panic!("seed {seed}: ⊤ without concurrency"),
             }
         }
         let live: Vec<u64> = (0..n as u64).filter(|&q| !removed[q as usize]).collect();
         let expected: Vec<u64> = live.into_iter().filter(|&q| q >= visited[0]).collect();
-        prop_assert_eq!(visited, expected);
+        assert_eq!(visited, expected, "seed {seed}, n={n}, b={b}");
     }
+}
 
-    /// Remove cost is O(log_B A): it never touches more nodes than the
-    /// height, and a removal whose sibling subtrees are live touches
-    /// exactly one node.
-    #[test]
-    fn remove_cost_is_bounded_by_height(
-        n in 2usize..512,
-        b in 2usize..17,
-        p in 0usize..512,
-    ) {
-        let p = p % n;
+/// Remove cost is O(log_B A): it never touches more nodes than the
+/// height, and every removal pays at least one RMR.
+#[test]
+fn remove_cost_is_bounded_by_height() {
+    for seed in 0..256u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.random_range(2..512);
+        let b = rng.random_range(2..17);
+        let p = rng.random_range(0..n);
         let mut builder = MemoryBuilder::new();
         let tree = Tree::layout(&mut builder, n, b);
         let mem = builder.build_cc(1);
         let before = mem.total_rmrs();
         tree.remove(&mem, 0, p as u64);
         let cost = mem.total_rmrs() - before;
-        prop_assert!(cost as usize <= tree.geometry().height());
-        prop_assert!(cost >= 1);
+        assert!(
+            cost as usize <= tree.geometry().height(),
+            "seed {seed}, n={n}, b={b}, p={p}: cost {cost}"
+        );
+        assert!(cost >= 1, "seed {seed}");
     }
+}
 
-    #[test]
-    fn simple_desc_round_trips(lock in 0u32..(1 << 24), spn in 0u32..(1 << 24), refcnt in 0u32..(1 << 16)) {
-        let d = SimpleDesc { lock, spn, refcnt };
-        prop_assert_eq!(SimpleDesc::unpack(d.pack()), d);
+#[test]
+fn simple_desc_round_trips() {
+    let mut rng = SmallRng::seed_from_u64(0xD15C);
+    for _ in 0..512 {
+        let d = SimpleDesc {
+            lock: rng.random_range(0..1 << 24) as u32,
+            spn: rng.random_range(0..1 << 24) as u32,
+            refcnt: rng.random_range(0..1 << 16) as u32,
+        };
+        assert_eq!(SimpleDesc::unpack(d.pack()), d);
     }
+}
 
-    #[test]
-    fn tagged_desc_round_trips(
-        seq in 0u32..(1 << 20),
-        lock in 0u32..(1 << 12),
-        spn in 0u32..(1 << 20),
-        refcnt in 0u32..(1 << 12),
-    ) {
-        let d = TaggedDesc { seq, lock, spn, refcnt };
-        prop_assert_eq!(TaggedDesc::unpack(d.pack()), d);
+#[test]
+fn tagged_desc_round_trips() {
+    let mut rng = SmallRng::seed_from_u64(0x7A66);
+    for _ in 0..512 {
+        let d = TaggedDesc {
+            seq: rng.random_range(0..1 << 20) as u32,
+            lock: rng.random_range(0..1 << 12) as u32,
+            spn: rng.random_range(0..1 << 20) as u32,
+            refcnt: rng.random_range(0..1 << 12) as u32,
+        };
+        assert_eq!(TaggedDesc::unpack(d.pack()), d);
         // F&A on the packed word touches only the refcount.
-        if refcnt < (1 << 12) - 1 {
+        if d.refcnt < (1 << 12) - 1 {
             let bumped = TaggedDesc::unpack(d.pack() + 1);
-            prop_assert_eq!(bumped, TaggedDesc { refcnt: refcnt + 1, ..d });
+            assert_eq!(
+                bumped,
+                TaggedDesc {
+                    refcnt: d.refcnt + 1,
+                    ..d
+                }
+            );
         }
     }
+}
 
-    #[test]
-    fn version_desc_round_trips(version in 0u64..(1 << 62), bit in 0u8..2) {
-        let d = VersionDesc { version, bit };
-        prop_assert_eq!(VersionDesc::unpack(d.pack()), d);
+#[test]
+fn version_desc_round_trips() {
+    let mut rng = SmallRng::seed_from_u64(0x5E40);
+    for _ in 0..512 {
+        let d = VersionDesc {
+            version: rng.next_u64() & ((1 << 62) - 1),
+            bit: rng.random_range(0..2) as u8,
+        };
+        assert_eq!(VersionDesc::unpack(d.pack()), d);
     }
+}
 
-    /// Distinct descriptors pack to distinct words (injectivity — the
-    /// property the line-76 CAS depends on).
-    #[test]
-    fn tagged_desc_packing_is_injective(
-        a_seq in 0u32..(1 << 20), a_lock in 0u32..(1 << 12), a_spn in 0u32..(1 << 20), a_ref in 0u32..(1 << 12),
-        b_seq in 0u32..(1 << 20), b_lock in 0u32..(1 << 12), b_spn in 0u32..(1 << 20), b_ref in 0u32..(1 << 12),
-    ) {
-        let a = TaggedDesc { seq: a_seq, lock: a_lock, spn: a_spn, refcnt: a_ref };
-        let b = TaggedDesc { seq: b_seq, lock: b_lock, spn: b_spn, refcnt: b_ref };
-        prop_assert_eq!(a == b, a.pack() == b.pack());
+/// Distinct descriptors pack to distinct words (injectivity — the
+/// property the line-76 CAS depends on).
+#[test]
+fn tagged_desc_packing_is_injective() {
+    let mut rng = SmallRng::seed_from_u64(0x1A3);
+    let random_desc = |rng: &mut SmallRng| TaggedDesc {
+        seq: rng.random_range(0..1 << 20) as u32,
+        lock: rng.random_range(0..1 << 12) as u32,
+        spn: rng.random_range(0..1 << 20) as u32,
+        refcnt: rng.random_range(0..1 << 12) as u32,
+    };
+    for _ in 0..512 {
+        let a = random_desc(&mut rng);
+        let mut b = random_desc(&mut rng);
+        // Half the cases compare near-identical descriptors, so the
+        // equality side of the biconditional is actually exercised.
+        if rng.random_bool(0.5) {
+            b = a;
+            if rng.random_bool(0.5) {
+                b.spn = (b.spn + 1) % (1 << 20);
+            }
+        }
+        assert_eq!(a == b, a.pack() == b.pack(), "a={a:?} b={b:?}");
     }
 }
 
