@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Repo CI gate: release build, full test suite, and lint-clean clippy.
-# Run from the repo root. Fails fast on the first broken step.
+# Repo CI gate: release build, full test suite (debug + release, so the
+# concurrency-sensitive stress tests run optimized too), lint-clean
+# clippy, and warning-free docs. Run from the repo root. Fails fast on
+# the first broken step.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+cargo test --release -q
 cargo clippy -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

@@ -5,7 +5,7 @@
 
 use sal_core::{AbortableLock, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
-use sal_obs::{Probe, ProbedMem};
+use sal_obs::{probed, Probe};
 
 /// Encoding of queue-node pointers: `0` is nil, `p + 1` is process `p`'s
 /// node.
@@ -73,13 +73,13 @@ impl<P: Probe + ?Sized> AbortableLock<P> for McsLock {
 
     fn enter(&self, mem: &dyn Mem, p: Pid, _signal: &dyn AbortSignal, probe: &P) -> Outcome {
         probe.enter_begin(p);
-        self.acquire(&ProbedMem::new(mem, probe), p);
+        self.acquire(&probed(mem, probe), p);
         probe.enter_end(p, None);
         Outcome::Entered { ticket: None }
     }
 
     fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
-        self.release(&ProbedMem::new(mem, probe), p);
+        self.release(&probed(mem, probe), p);
         probe.cs_exit(p);
     }
 }

@@ -5,7 +5,7 @@
 
 use sal_core::{AbortableLock, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordId};
-use sal_obs::{Probe, ProbedMem};
+use sal_obs::{probed, Probe};
 
 /// CAS-based test-and-test-and-set lock.
 #[derive(Clone, Debug)]
@@ -49,7 +49,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for TasLock {
 
     fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
         probe.enter_begin(p);
-        if self.acquire(&ProbedMem::new(mem, probe), p, signal) {
+        if self.acquire(&probed(mem, probe), p, signal) {
             probe.enter_end(p, None);
             Outcome::Entered { ticket: None }
         } else {
@@ -59,7 +59,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for TasLock {
     }
 
     fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
-        self.release(&ProbedMem::new(mem, probe), p);
+        self.release(&probed(mem, probe), p);
         probe.cs_exit(p);
     }
 }

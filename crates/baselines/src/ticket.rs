@@ -6,7 +6,7 @@
 
 use sal_core::{AbortableLock, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordId};
-use sal_obs::{Probe, ProbedMem};
+use sal_obs::{probed, Probe};
 
 /// Classic ticket lock: `next_ticket` (F&A doorway) and `now_serving`
 /// (shared spin word). Not abortable — a ticket, once taken, must be
@@ -51,7 +51,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for TicketLock {
         probe.enter_begin(p);
         // Inlined acquire so the F&A doorway ticket can be reported —
         // the ticket lock is FCFS and the probe layer can check it.
-        let pm = ProbedMem::new(mem, probe);
+        let pm = probed(mem, probe);
         let t = pm.faa(p, self.next_ticket, 1);
         while pm.read(p, self.now_serving) != t {}
         probe.enter_end(p, Some(t));
@@ -59,7 +59,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for TicketLock {
     }
 
     fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
-        self.release(&ProbedMem::new(mem, probe), p);
+        self.release(&probed(mem, probe), p);
         probe.cs_exit(p);
     }
 }

@@ -20,7 +20,7 @@
 
 use sal_core::{AbortableLock, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray};
-use sal_obs::{Probe, ProbedMem};
+use sal_obs::{probed, Probe};
 
 /// The abortable Peterson-tournament lock. Long-lived, starvation-free
 /// (each Peterson node has bounded bypass), abortable at any point of the
@@ -123,7 +123,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for TournamentLock {
 
     fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
         probe.enter_begin(p);
-        if self.acquire(&ProbedMem::new(mem, probe), p, signal) {
+        if self.acquire(&probed(mem, probe), p, signal) {
             probe.enter_end(p, None);
             Outcome::Entered { ticket: None }
         } else {
@@ -133,7 +133,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for TournamentLock {
     }
 
     fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
-        self.release(&ProbedMem::new(mem, probe), p);
+        self.release(&probed(mem, probe), p);
         probe.cs_exit(p);
     }
 }

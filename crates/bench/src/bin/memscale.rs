@@ -1,0 +1,179 @@
+//! memscale — instrumented-substrate throughput sweep.
+//!
+//! Measures raw shared-memory operation throughput (Mops/s) of the three
+//! memory flavours as a function of real-thread count:
+//!
+//! * `raw` — bare `AtomicU64`s, no accounting (upper bound),
+//! * `sharded` — the lock-free `CcMemory` with exact CC accounting,
+//! * `mutex` — the retained global-mutex reference `MutexCcMemory`.
+//!
+//! The workload models lock traffic: each thread mixes one contended F&A,
+//! one write and two reads of a mostly-private word per round — identical
+//! op sequences per substrate, so the column ratio is pure substrate
+//! overhead. The point of the sweep: the measurement substrate must not
+//! be the serialization point of the experiments, i.e. `sharded` must
+//! strictly beat `mutex` once several threads are issuing operations.
+//!
+//! ```text
+//! cargo run --release -p sal-bench --bin memscale -- \
+//!     [--ops-per-thread 300000] [--reps 3] [--threads 1,2,4,8]
+//! ```
+//!
+//! Prints a table and saves `target/experiments/memscale.json`.
+
+use sal_bench::{save_json, Table};
+use sal_memory::{Mem, MemoryBuilder};
+use sal_obs::Json;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+#[derive(Debug)]
+struct Args {
+    ops_per_thread: u64,
+    reps: usize,
+    threads: Vec<usize>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            ops_per_thread: 300_000,
+            reps: 3,
+            threads: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--ops-per-thread" => {
+                args.ops_per_thread = value()?
+                    .parse()
+                    .map_err(|e| format!("--ops-per-thread: {e}"))?;
+            }
+            "--reps" => args.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?,
+            "--threads" => {
+                args.threads = value()?
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("--threads: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--help" | "-h" => {
+                println!("usage: memscale [--ops-per-thread N] [--reps R] [--threads 1,2,4,8]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.threads.is_empty() || args.ops_per_thread == 0 || args.reps == 0 {
+        return Err("need at least one thread count, op and rep".into());
+    }
+    Ok(args)
+}
+
+/// Drive the mixed workload over `mem` with `threads` real threads and
+/// return throughput in Mops/s (best of nothing — single measured run;
+/// the caller repeats and keeps the best).
+fn run_once<M: Mem + Send + Sync>(mem: &M, threads: usize, rounds: u64) -> f64 {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let elapsed = std::thread::scope(|s| {
+        for p in 0..threads {
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                // Word 0 is the contended counter; word 1+p is "mine".
+                let shared = sal_memory::WordId::from_index(0);
+                let mine = sal_memory::WordId::from_index(1 + p);
+                barrier.wait();
+                for i in 0..rounds {
+                    mem.faa(p, shared, 1);
+                    mem.write(p, mine, i);
+                    mem.read(p, mine);
+                    mem.read(p, mine);
+                }
+            });
+        }
+        barrier.wait();
+        // The scope joins all workers before returning, so `elapsed` on
+        // this instant measures barrier-release → last thread done.
+        Instant::now()
+    })
+    .elapsed();
+    let total_ops = threads as u64 * rounds * 4;
+    total_ops as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+/// Best-of-`reps` throughput for one (substrate, threads) cell.
+fn measure<M: Mem + Send + Sync>(
+    build: impl Fn(usize) -> M,
+    threads: usize,
+    rounds: u64,
+    reps: usize,
+) -> f64 {
+    (0..reps)
+        .map(|_| run_once(&build(threads), threads, rounds))
+        .fold(0.0, f64::max)
+}
+
+fn layout(threads: usize) -> MemoryBuilder {
+    let mut b = MemoryBuilder::new();
+    b.alloc(0); // the contended word
+    b.alloc_array(threads, 0); // one scratch word per thread
+    b
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("memscale: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut table = Table::new(
+        "memscale — instrumented-memory throughput (Mops/s, best of reps)",
+        &["threads", "raw", "sharded", "mutex", "sharded/mutex"],
+    );
+    let mut rows = Vec::new();
+    for &threads in &args.threads {
+        let rounds = args.ops_per_thread / 4;
+        let raw = measure(|t| layout(t).build_raw(t), threads, rounds, args.reps);
+        let sharded = measure(|t| layout(t).build_cc(t), threads, rounds, args.reps);
+        let mutex = measure(|t| layout(t).build_cc_mutex(t), threads, rounds, args.reps);
+        let speedup = sharded / mutex;
+        table.row(vec![
+            threads.to_string(),
+            format!("{raw:.2}"),
+            format!("{sharded:.2}"),
+            format!("{mutex:.2}"),
+            format!("{speedup:.2}x"),
+        ]);
+        rows.push(Json::obj(vec![
+            ("threads", Json::Int(threads as i64)),
+            ("raw_mops", Json::Float(raw)),
+            ("sharded_mops", Json::Float(sharded)),
+            ("mutex_mops", Json::Float(mutex)),
+            ("sharded_over_mutex", Json::Float(speedup)),
+        ]));
+    }
+    table.print();
+
+    let out = Json::obj(vec![
+        ("experiment", Json::Str("memscale".into())),
+        ("ops_per_thread", Json::Int(args.ops_per_thread as i64)),
+        ("reps", Json::Int(args.reps as i64)),
+        (
+            "workload",
+            Json::Str("per round: faa(shared) + write(mine) + 2x read(mine)".into()),
+        ),
+        ("rows", Json::Arr(rows)),
+    ]);
+    save_json("memscale", &out);
+}

@@ -35,7 +35,7 @@ use crate::lock::{AbortableLock, Outcome};
 use crate::one_shot::OneShotLock;
 use crate::tree::Ascent;
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordId};
-use sal_obs::{NoProbe, Probe, ProbedMem};
+use sal_obs::{probed, NoProbe, Probe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -195,7 +195,7 @@ impl BoundedLongLivedLock {
     }
 
     /// [`enter`](Self::enter) with passage observability: lifecycle
-    /// hooks, per-operation `op`/`rmr` hooks via [`ProbedMem`], and an
+    /// hooks, per-operation `op`/`rmr` hooks via [`ProbedMem`](sal_obs::ProbedMem), and an
     /// `"instance-switch"` [`note`](Probe::note) when this process's
     /// Cleanup wins the line-76 descriptor CAS. The nested one-shot
     /// `enter` is *not* treated as a passage of its own — only its
@@ -207,7 +207,7 @@ impl BoundedLongLivedLock {
         P: Probe + ?Sized,
     {
         probe.enter_begin(pid);
-        let pm = ProbedMem::new(mem, probe);
+        let pm = probed(mem, probe);
         let completed = self.enter_impl(&pm, pid, signal, probe);
         if completed {
             probe.enter_end(pid, None);
@@ -264,7 +264,7 @@ impl BoundedLongLivedLock {
         M: Mem + ?Sized,
         P: Probe + ?Sized,
     {
-        let pm = ProbedMem::new(mem, probe);
+        let pm = probed(mem, probe);
         self.exit_impl(&pm, pid, probe);
         probe.cs_exit(pid);
     }

@@ -13,7 +13,7 @@ use super::desc::SimpleDesc;
 use crate::lock::{AbortableLock, Outcome};
 use crate::one_shot::OneShotLock;
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
-use sal_obs::{NoProbe, Probe, ProbedMem};
+use sal_obs::{probed, NoProbe, Probe};
 use std::sync::Mutex;
 
 /// Per-process local variable of Figure 5 (`oldSpn`).
@@ -109,7 +109,7 @@ impl SimpleLongLivedLock {
         P: Probe + ?Sized,
     {
         probe.enter_begin(pid);
-        let pm = ProbedMem::new(mem, probe);
+        let pm = probed(mem, probe);
         let completed = self.enter_impl(&pm, pid, signal, probe);
         if completed {
             probe.enter_end(pid, None);
@@ -158,7 +158,7 @@ impl SimpleLongLivedLock {
         M: Mem + ?Sized,
         P: Probe + ?Sized,
     {
-        let pm = ProbedMem::new(mem, probe);
+        let pm = probed(mem, probe);
         self.exit_impl(&pm, pid, probe);
         probe.cs_exit(pid);
     }

@@ -10,7 +10,7 @@
 use crate::lock::{AbortableLock, Outcome};
 use crate::tree::{Ascent, FindNextResult, Tree};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
-use sal_obs::{Probe, ProbedMem};
+use sal_obs::{probed, Probe};
 
 use super::{EnterOutcome, NO_ONE};
 
@@ -118,7 +118,7 @@ impl DsmOneShotLock {
         P: Probe + ?Sized,
     {
         probe.enter_begin(pid);
-        let pm = ProbedMem::new(mem, probe);
+        let pm = probed(mem, probe);
         let outcome = self.enter(&pm, pid, signal);
         match outcome {
             EnterOutcome::Entered { ticket } => probe.enter_end(pid, Some(ticket)),
@@ -140,7 +140,7 @@ impl DsmOneShotLock {
         M: Mem + ?Sized,
         P: Probe + ?Sized,
     {
-        let pm = ProbedMem::new(mem, probe);
+        let pm = probed(mem, probe);
         self.exit(&pm, pid);
         probe.cs_exit(pid);
     }

@@ -30,7 +30,7 @@ pub use dsm::DsmOneShotLock;
 use crate::lock::{AbortableLock, Outcome};
 use crate::tree::{Ascent, FindNextResult, Tree};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
-use sal_obs::{Probe, ProbedMem};
+use sal_obs::{probed, Probe};
 
 /// Sentinel for `LastExited = −1` (no process has exited yet).
 const NO_ONE: u64 = u64::MAX;
@@ -172,7 +172,7 @@ impl OneShotLock {
 
     /// [`enter`](Self::enter) with passage observability: fires
     /// [`Probe::enter_begin`], routes every shared-memory operation
-    /// through a [`ProbedMem`] (so `op`/`rmr` hooks fire), and closes
+    /// through a [`ProbedMem`](sal_obs::ProbedMem) (so `op`/`rmr` hooks fire), and closes
     /// the attempt with [`Probe::enter_end`] or [`Probe::abort`].
     pub fn enter_probed<M, S, P>(&self, mem: &M, pid: Pid, signal: &S, probe: &P) -> EnterOutcome
     where
@@ -181,7 +181,7 @@ impl OneShotLock {
         P: Probe + ?Sized,
     {
         probe.enter_begin(pid);
-        let pm = ProbedMem::new(mem, probe);
+        let pm = probed(mem, probe);
         let outcome = self.enter(&pm, pid, signal);
         match outcome {
             EnterOutcome::Entered { ticket } => probe.enter_end(pid, Some(ticket)),
@@ -198,14 +198,14 @@ impl OneShotLock {
     }
 
     /// [`exit`](Self::exit) with passage observability: routes the exit
-    /// protocol through a [`ProbedMem`] and fires [`Probe::cs_exit`]
+    /// protocol through a [`ProbedMem`](sal_obs::ProbedMem) and fires [`Probe::cs_exit`]
     /// once the passage is complete.
     pub fn exit_probed<M, P>(&self, mem: &M, pid: Pid, probe: &P)
     where
         M: Mem + ?Sized,
         P: Probe + ?Sized,
     {
-        let pm = ProbedMem::new(mem, probe);
+        let pm = probed(mem, probe);
         self.exit(&pm, pid);
         probe.cs_exit(pid);
     }

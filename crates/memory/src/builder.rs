@@ -1,6 +1,7 @@
 //! Allocation-phase builder for all memory flavours.
 
-use crate::cc::CcMemory;
+use crate::cc::{CcMemory, EpochMode};
+use crate::cc_mutex::MutexCcMemory;
 use crate::dsm::DsmMemory;
 use crate::raw::RawMemory;
 use crate::word::{Pid, WordId};
@@ -143,6 +144,21 @@ impl MemoryBuilder {
     /// `nprocs` processes with exact RMR accounting.
     pub fn build_cc(self, nprocs: usize) -> CcMemory {
         CcMemory::new(self.inits, nprocs)
+    }
+
+    /// Build a cache-coherent memory with an explicit choice of
+    /// per-(process, word) epoch storage — see [`EpochMode`]. Accounting
+    /// is identical in every mode; this only trades space for speed (and
+    /// lets tests exercise both paths deterministically).
+    pub fn build_cc_with(self, nprocs: usize, mode: EpochMode) -> CcMemory {
+        CcMemory::with_epoch_mode(self.inits, nprocs, mode)
+    }
+
+    /// Build the retained global-mutex CC reference memory
+    /// ([`MutexCcMemory`]) — the differential-testing oracle and the
+    /// `memscale` scaling baseline, not for production measurement runs.
+    pub fn build_cc_mutex(self, nprocs: usize) -> MutexCcMemory {
+        MutexCcMemory::new(self.inits, nprocs)
     }
 
     /// Build a distributed-shared-memory flavoured memory for `nprocs`

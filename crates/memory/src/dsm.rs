@@ -1,14 +1,26 @@
 //! Distributed-shared-memory flavour: per-word home processes.
+//!
+//! The DSM cost rule is *static* — an operation's RMR charge depends only
+//! on `(process, word.home)`, never on history — so unlike the CC engine
+//! this memory needs no coherence metadata at all: word values are plain
+//! `AtomicU64`s (one cache line each), counters are padded per-process
+//! atomics, and there is no lock anywhere to contend on or poison.
 
 use crate::mem::Mem;
 use crate::word::{Pid, WordId};
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-struct DsmState {
-    values: Vec<u64>,
-    rmrs: Vec<u64>,
-    ops: Vec<u64>,
+/// One word per cache line, mirroring the model where every word is its
+/// own coherence/home unit.
+#[repr(align(64))]
+struct PaddedWord(AtomicU64);
+
+/// Per-process counters on their own cache line.
+#[repr(align(128))]
+struct PerProc {
+    rmrs: AtomicU64,
+    ops: AtomicU64,
 }
 
 /// Shared memory implementing the paper's DSM cost model: each word is
@@ -21,18 +33,22 @@ struct DsmState {
 /// process's `announce` slot and spin bit at that process, so its busy-wait
 /// loop incurs no RMRs.
 ///
+/// Fully lock-free: every operation maps to one hardware atomic on the
+/// word plus relaxed counter increments, so the substrate never
+/// serializes the algorithm under test.
+///
 /// [`MemoryBuilder::alloc_at`]: crate::MemoryBuilder::alloc_at
 pub struct DsmMemory {
-    state: Mutex<DsmState>,
+    values: Vec<PaddedWord>,
     homes: Vec<Pid>,
-    nprocs: usize,
+    procs: Vec<PerProc>,
 }
 
 impl fmt::Debug for DsmMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DsmMemory")
             .field("nwords", &self.homes.len())
-            .field("nprocs", &self.nprocs)
+            .field("nprocs", &self.procs.len())
             .finish()
     }
 }
@@ -44,13 +60,14 @@ impl DsmMemory {
             "a word's home process must be < nprocs"
         );
         DsmMemory {
-            state: Mutex::new(DsmState {
-                values: inits,
-                rmrs: vec![0; nprocs],
-                ops: vec![0; nprocs],
-            }),
+            values: inits.into_iter().map(|v| PaddedWord(AtomicU64::new(v))).collect(),
             homes,
-            nprocs,
+            procs: (0..nprocs)
+                .map(|_| PerProc {
+                    rmrs: AtomicU64::new(0),
+                    ops: AtomicU64::new(0),
+                })
+                .collect(),
         }
     }
 
@@ -59,65 +76,63 @@ impl DsmMemory {
         self.homes[w.index()]
     }
 
-    /// Reset all RMR and operation counters, keeping word values.
+    /// Reset all RMR and operation counters, keeping word values. Call it
+    /// while the memory is quiescent; concurrent operations land on one
+    /// side or the other of the reset, per counter.
     pub fn reset_counters(&self) {
-        let mut s = self.state.lock().unwrap();
-        s.rmrs.iter_mut().for_each(|c| *c = 0);
-        s.ops.iter_mut().for_each(|c| *c = 0);
+        for proc in &self.procs {
+            proc.rmrs.store(0, Ordering::Relaxed);
+            proc.ops.store(0, Ordering::Relaxed);
+        }
     }
 
-    fn access<R>(&self, p: Pid, w: WordId, f: impl FnOnce(&mut u64) -> R) -> R {
-        let mut s = self.state.lock().unwrap();
-        s.ops[p] += 1;
+    #[inline]
+    fn charge(&self, p: Pid, w: WordId) -> &AtomicU64 {
+        let proc = &self.procs[p];
+        proc.ops.fetch_add(1, Ordering::Relaxed);
         if self.homes[w.index()] != p {
-            s.rmrs[p] += 1;
+            proc.rmrs.fetch_add(1, Ordering::Relaxed);
         }
-        f(&mut s.values[w.index()])
+        &self.values[w.index()].0
     }
 }
 
 impl Mem for DsmMemory {
     fn read(&self, p: Pid, w: WordId) -> u64 {
-        self.access(p, w, |v| *v)
+        self.charge(p, w).load(Ordering::SeqCst)
     }
 
     fn write(&self, p: Pid, w: WordId, v: u64) {
-        self.access(p, w, |cell| *cell = v)
+        self.charge(p, w).store(v, Ordering::SeqCst);
     }
 
     fn cas(&self, p: Pid, w: WordId, old: u64, new: u64) -> bool {
-        self.access(p, w, |cell| {
-            if *cell == old {
-                *cell = new;
-                true
-            } else {
-                false
-            }
-        })
+        self.charge(p, w)
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
     }
 
     fn faa(&self, p: Pid, w: WordId, add: u64) -> u64 {
-        self.access(p, w, |cell| {
-            let prev = *cell;
-            *cell = cell.wrapping_add(add);
-            prev
-        })
+        self.charge(p, w).fetch_add(add, Ordering::SeqCst)
     }
 
     fn swap(&self, p: Pid, w: WordId, v: u64) -> u64 {
-        self.access(p, w, |cell| std::mem::replace(cell, v))
+        self.charge(p, w).swap(v, Ordering::SeqCst)
     }
 
     fn rmrs(&self, p: Pid) -> u64 {
-        self.state.lock().unwrap().rmrs[p]
+        self.procs[p].rmrs.load(Ordering::Relaxed)
     }
 
     fn total_rmrs(&self) -> u64 {
-        self.state.lock().unwrap().rmrs.iter().sum()
+        self.procs
+            .iter()
+            .map(|proc| proc.rmrs.load(Ordering::Relaxed))
+            .sum()
     }
 
     fn ops(&self, p: Pid) -> u64 {
-        self.state.lock().unwrap().ops[p]
+        self.procs[p].ops.load(Ordering::Relaxed)
     }
 
     fn num_words(&self) -> usize {
@@ -125,7 +140,7 @@ impl Mem for DsmMemory {
     }
 
     fn num_procs(&self) -> usize {
-        self.nprocs
+        self.procs.len()
     }
 }
 
@@ -192,5 +207,30 @@ mod tests {
         m.reset_counters();
         assert_eq!(m.rmrs(1), 0);
         assert_eq!(m.read(0, w), 9);
+    }
+
+    #[test]
+    fn concurrent_home_and_remote_traffic_counts_exactly() {
+        use std::sync::Arc;
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc_at(0, 0);
+        let m = Arc::new(b.build_dsm(2));
+        let handles: Vec<_> = (0..2)
+            .map(|p| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.faa(p, w, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.read(0, w), 2000);
+        assert_eq!(m.rmrs(0), 0); // home
+        assert_eq!(m.rmrs(1), 1000); // every remote op charged
+        assert_eq!(m.ops(0) + m.ops(1), 2001);
     }
 }

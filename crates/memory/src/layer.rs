@@ -1,0 +1,307 @@
+//! The unified memory-interception layer: [`Layered`] + [`Interceptor`].
+//!
+//! Historically the workspace grew three hand-rolled [`Mem`] forwarding
+//! wrappers — operation tracing (`sal_memory::TracingMem`), deterministic
+//! stepping (`sal_runtime::SteppedMem`) and probe classification
+//! (`sal_obs::ProbedMem`) — each re-implementing the same ten forwarding
+//! methods and each free to drift from the others (and they did: which
+//! counters were forwarded vs recomputed differed per wrapper). This
+//! module collapses all of them into one mechanism:
+//!
+//! * [`Interceptor`] — two hooks, [`before`](Interceptor::before) and
+//!   [`after`](Interceptor::after), fired around every one of the five
+//!   shared-memory operations. The `after` hook receives the operation's
+//!   observed value and the cost-model verdict (`remote`), computed once
+//!   by the layer itself from the inner memory's own RMR counters — so
+//!   no interceptor can disagree with the ground truth it wraps.
+//! * [`Layered`] — the single [`Mem`] implementation that runs an
+//!   operation between the hooks and forwards every counter/metadata
+//!   query (`rmrs`, `total_rmrs`, `ops`, `num_words`, `num_procs`)
+//!   verbatim to the inner memory. Counter queries never fire hooks:
+//!   they are measurements, not steps of the algorithm.
+//!
+//! Layers compose by nesting: `Layered` is itself a [`Mem`], so
+//! `probe ∘ trace ∘ step ∘ CcMemory` is just three nested `Layered`s,
+//! and all of them report the identical counters — the inner memory's.
+//!
+//! ```
+//! use sal_memory::{Interceptor, Layered, Mem, MemoryBuilder, OpKind, Pid, WordId};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! #[derive(Debug, Default)]
+//! struct CountRemote(AtomicU64);
+//! impl Interceptor for CountRemote {
+//!     fn after(&self, _p: Pid, _k: OpKind, _w: WordId, _v: u64, remote: bool) {
+//!         if remote {
+//!             self.0.fetch_add(1, Ordering::Relaxed);
+//!         }
+//!     }
+//! }
+//!
+//! let mut b = MemoryBuilder::new();
+//! let w = b.alloc(0);
+//! let mem = b.build_cc(1);
+//! let layered = Layered::over(&mem, CountRemote::default());
+//! layered.write(0, w, 7); // remote: write-type ops always pay
+//! layered.read(0, w); //  remote: first read of the word
+//! layered.read(0, w); //  local: cached, no foreign write since
+//! assert_eq!(layered.layer().0.load(Ordering::Relaxed), 2);
+//! assert_eq!(layered.rmrs(0), mem.rmrs(0)); // counters forward verbatim
+//! ```
+
+use crate::mem::{Mem, OpKind};
+use crate::word::{Pid, WordId};
+
+/// Before/after hooks fired by [`Layered`] around every shared-memory
+/// operation.
+///
+/// Both hooks default to no-ops, so an interceptor implements only what
+/// it needs. Implementations must be thread-safe: hooks are called
+/// concurrently from all processes.
+pub trait Interceptor: Send + Sync {
+    /// Called immediately before the operation executes against the
+    /// inner memory. A blocking implementation (e.g. the simulator's
+    /// step gate) delays the operation itself.
+    fn before(&self, p: Pid, kind: OpKind, w: WordId) {
+        let _ = (p, kind, w);
+    }
+
+    /// Called immediately after the operation completed. `value` is the
+    /// operation's observed value — the value read, the value written,
+    /// `1`/`0` for a successful/failed CAS, the *previous* value for
+    /// F&A and SWAP. `remote` is whether the inner memory's cost model
+    /// charged process `p` an RMR for this operation (always `false`
+    /// over an uninstrumented [`RawMemory`](crate::RawMemory)).
+    fn after(&self, p: Pid, kind: OpKind, w: WordId, value: u64, remote: bool) {
+        let _ = (p, kind, w, value, remote);
+    }
+}
+
+/// Interceptors compose pairwise: `(outer, inner)` fires `outer.before`,
+/// then `inner.before`, the operation, `inner.after`, `outer.after` —
+/// the same nesting order as two stacked [`Layered`]s, without the
+/// second set of forwarding calls.
+impl<A: Interceptor, B: Interceptor> Interceptor for (A, B) {
+    fn before(&self, p: Pid, kind: OpKind, w: WordId) {
+        self.0.before(p, kind, w);
+        self.1.before(p, kind, w);
+    }
+
+    fn after(&self, p: Pid, kind: OpKind, w: WordId, value: u64, remote: bool) {
+        self.1.after(p, kind, w, value, remote);
+        self.0.after(p, kind, w, value, remote);
+    }
+}
+
+/// A memory with one interception layer on top: the single generic
+/// [`Mem`] wrapper behind `TracingMem`, `sal_runtime::SteppedMem` and
+/// `sal_obs::ProbedMem`. See the module-level docs above for the design.
+#[derive(Debug)]
+pub struct Layered<'a, M: ?Sized, I> {
+    inner: &'a M,
+    layer: I,
+}
+
+impl<'a, M: Mem + ?Sized, I: Interceptor> Layered<'a, M, I> {
+    /// Stack `layer` over `inner`.
+    pub fn over(inner: &'a M, layer: I) -> Self {
+        Layered { inner, layer }
+    }
+
+    /// The wrapped memory.
+    pub fn inner(&self) -> &'a M {
+        self.inner
+    }
+
+    /// The interception layer (for reading results out of stateful
+    /// interceptors, e.g. a trace buffer).
+    pub fn layer(&self) -> &I {
+        &self.layer
+    }
+
+    /// Consume the wrapper, returning the layer.
+    pub fn into_layer(self) -> I {
+        self.layer
+    }
+
+    #[inline]
+    fn run(&self, p: Pid, kind: OpKind, w: WordId, f: impl FnOnce(&M) -> u64) -> u64 {
+        self.layer.before(p, kind, w);
+        let rmrs_before = self.inner.rmrs(p);
+        let value = f(self.inner);
+        let remote = self.inner.rmrs(p) != rmrs_before;
+        self.layer.after(p, kind, w, value, remote);
+        value
+    }
+}
+
+impl<M: Mem + ?Sized, I: Interceptor> Mem for Layered<'_, M, I> {
+    fn read(&self, p: Pid, w: WordId) -> u64 {
+        self.run(p, OpKind::Read, w, |m| m.read(p, w))
+    }
+
+    fn write(&self, p: Pid, w: WordId, v: u64) {
+        self.run(p, OpKind::Write, w, |m| {
+            m.write(p, w, v);
+            v
+        });
+    }
+
+    fn cas(&self, p: Pid, w: WordId, old: u64, new: u64) -> bool {
+        self.run(p, OpKind::Cas, w, |m| u64::from(m.cas(p, w, old, new))) == 1
+    }
+
+    fn faa(&self, p: Pid, w: WordId, add: u64) -> u64 {
+        self.run(p, OpKind::Faa, w, |m| m.faa(p, w, add))
+    }
+
+    fn swap(&self, p: Pid, w: WordId, v: u64) -> u64 {
+        self.run(p, OpKind::Swap, w, |m| m.swap(p, w, v))
+    }
+
+    fn rmrs(&self, p: Pid) -> u64 {
+        self.inner.rmrs(p)
+    }
+
+    fn total_rmrs(&self) -> u64 {
+        self.inner.total_rmrs()
+    }
+
+    fn ops(&self, p: Pid) -> u64 {
+        self.inner.ops(p)
+    }
+
+    fn num_words(&self) -> usize {
+        self.inner.num_words()
+    }
+
+    fn num_procs(&self) -> usize {
+        self.inner.num_procs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryBuilder;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    type Call = (Pid, OpKind, u32, u64, bool);
+
+    #[derive(Debug, Default)]
+    struct Recorder {
+        calls: Mutex<Vec<Call>>,
+    }
+
+    impl Interceptor for Recorder {
+        fn after(&self, p: Pid, kind: OpKind, w: WordId, value: u64, remote: bool) {
+            self.calls
+                .lock()
+                .unwrap()
+                .push((p, kind, w.index() as u32, value, remote));
+        }
+    }
+
+    #[test]
+    fn hooks_see_values_and_remote_verdicts() {
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc(5);
+        let mem = b.build_cc(2);
+        let l = Layered::over(&mem, Recorder::default());
+        assert_eq!(l.read(0, w), 5); // remote: first read
+        assert_eq!(l.read(0, w), 5); // local
+        assert_eq!(l.faa(1, w, 1), 5); // remote
+        assert!(l.cas(0, w, 6, 7)); // remote
+        assert!(!l.cas(0, w, 99, 8)); // remote (failed CAS still charged)
+        l.write(1, w, 2); // remote
+        assert_eq!(l.swap(1, w, 3), 2); // remote
+        let calls = l.layer().calls.lock().unwrap().clone();
+        assert_eq!(
+            calls,
+            vec![
+                (0, OpKind::Read, w.index() as u32, 5, true),
+                (0, OpKind::Read, w.index() as u32, 5, false),
+                (1, OpKind::Faa, w.index() as u32, 5, true),
+                (0, OpKind::Cas, w.index() as u32, 1, true),
+                (0, OpKind::Cas, w.index() as u32, 0, true),
+                (1, OpKind::Write, w.index() as u32, 2, true),
+                (1, OpKind::Swap, w.index() as u32, 2, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn counter_queries_forward_without_firing_hooks() {
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc(0);
+        let mem = b.build_cc(2);
+        let l = Layered::over(&mem, Recorder::default());
+        l.write(0, w, 1);
+        let before = l.layer().calls.lock().unwrap().len();
+        assert_eq!(l.rmrs(0), mem.rmrs(0));
+        assert_eq!(l.total_rmrs(), mem.total_rmrs());
+        assert_eq!(l.ops(0), mem.ops(0));
+        assert_eq!(l.num_words(), 1);
+        assert_eq!(l.num_procs(), 2);
+        assert_eq!(l.layer().calls.lock().unwrap().len(), before);
+        assert_eq!(l.inner().num_words(), 1);
+    }
+
+    #[test]
+    fn nested_layers_report_inner_counters() {
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc(0);
+        let mem = b.build_cc(1);
+        let inner = Layered::over(&mem, Recorder::default());
+        let outer = Layered::over(&inner, Recorder::default());
+        outer.write(0, w, 9);
+        outer.read(0, w);
+        assert_eq!(outer.rmrs(0), mem.rmrs(0));
+        assert_eq!(outer.ops(0), mem.ops(0));
+        assert_eq!(inner.layer().calls.lock().unwrap().len(), 2);
+        assert_eq!(outer.layer().calls.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn paired_interceptors_nest_like_stacked_layers() {
+        #[derive(Debug, Default)]
+        struct Tag(&'static str, std::sync::Arc<Mutex<Vec<&'static str>>>);
+        impl Interceptor for Tag {
+            fn before(&self, _p: Pid, _k: OpKind, _w: WordId) {
+                self.1.lock().unwrap().push(self.0);
+            }
+            fn after(&self, _p: Pid, _k: OpKind, _w: WordId, _v: u64, _r: bool) {
+                self.1.lock().unwrap().push(self.0);
+            }
+        }
+        let order = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc(0);
+        let mem = b.build_cc(1);
+        let l = Layered::over(&mem, (Tag("outer", order.clone()), Tag("inner", order.clone())));
+        l.read(0, w);
+        assert_eq!(*order.lock().unwrap(), vec!["outer", "inner", "inner", "outer"]);
+    }
+
+    #[test]
+    fn raw_memory_never_reports_remote() {
+        let remotes = AtomicU64::new(0);
+        #[derive(Debug)]
+        struct R<'a>(&'a AtomicU64);
+        impl Interceptor for R<'_> {
+            fn after(&self, _p: Pid, _k: OpKind, _w: WordId, _v: u64, remote: bool) {
+                if remote {
+                    self.0.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let mut b = MemoryBuilder::new();
+        let w = b.alloc(0);
+        let mem = b.build_raw(1);
+        let l = Layered::over(&mem, R(&remotes));
+        l.write(0, w, 1);
+        l.read(0, w);
+        assert_eq!(remotes.load(Ordering::Relaxed), 0);
+    }
+}

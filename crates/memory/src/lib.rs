@@ -42,7 +42,9 @@
 
 mod builder;
 mod cc;
+mod cc_mutex;
 mod dsm;
+mod layer;
 mod mem;
 mod raw;
 mod signal;
@@ -50,10 +52,12 @@ mod trace;
 mod word;
 
 pub use builder::{MemoryBuilder, WordArray};
-pub use cc::CcMemory;
+pub use cc::{CcMemory, EpochMode};
+pub use cc_mutex::MutexCcMemory;
 pub use dsm::DsmMemory;
+pub use layer::{Interceptor, Layered};
 pub use mem::{Mem, OpKind, RmrProbe};
 pub use raw::RawMemory;
 pub use signal::{AbortFlag, AbortSignal, Deadline, NeverAbort, SignalFn};
-pub use trace::{TraceEntry, TracingMem};
+pub use trace::{TraceEntry, Tracer, TracingMem};
 pub use word::{Pid, WordId};

@@ -7,7 +7,12 @@
 //! trace is how the `rmr_trace` example and the debugging workflows
 //! show *which* access paid — e.g. the single cache miss a spinning
 //! process takes when the handoff write invalidates its copy.
+//!
+//! Tracing is implemented as a [`Tracer`] interceptor over the generic
+//! [`Layered`] wrapper — [`TracingMem`] is just the type alias
+//! `Layered<'a, M, Tracer>`; there is no trace-specific forwarding code.
 
+use crate::layer::{Interceptor, Layered};
 use crate::mem::{Mem, OpKind};
 use crate::word::{Pid, WordId};
 use std::sync::Mutex;
@@ -27,50 +32,28 @@ pub struct TraceEntry {
     pub remote: bool,
 }
 
-/// A [`Mem`] wrapper recording every operation. See the module docs
-/// for the recording semantics.
-#[derive(Debug)]
-pub struct TracingMem<'a, M: ?Sized> {
-    inner: &'a M,
+/// The [`Interceptor`] behind [`TracingMem`]: appends a [`TraceEntry`]
+/// per operation to a bounded or unbounded in-memory log.
+#[derive(Debug, Default)]
+pub struct Tracer {
     entries: Mutex<Vec<TraceEntry>>,
     /// Optional cap to bound memory use on long runs (0 = unbounded).
     cap: usize,
 }
 
-impl<'a, M: Mem + ?Sized> TracingMem<'a, M> {
-    /// Trace every operation against `inner`.
-    pub fn new(inner: &'a M) -> Self {
-        TracingMem {
-            inner,
-            entries: Mutex::new(Vec::new()),
-            cap: 0,
-        }
+impl Tracer {
+    /// Unbounded trace log.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Trace with a bound: once `cap` entries are recorded, older
-    /// entries are discarded from the front in blocks.
-    pub fn with_capacity_limit(inner: &'a M, cap: usize) -> Self {
-        TracingMem {
-            inner,
+    /// Bounded trace log: once `cap` entries are recorded, older entries
+    /// are discarded from the front in blocks.
+    pub fn with_capacity_limit(cap: usize) -> Self {
+        Tracer {
             entries: Mutex::new(Vec::new()),
             cap,
         }
-    }
-
-    fn record(&self, pid: Pid, kind: OpKind, word: WordId, value: u64, rmr_before: u64) {
-        let remote = self.inner.rmrs(pid) > rmr_before;
-        let mut entries = self.entries.lock().unwrap();
-        if self.cap > 0 && entries.len() >= self.cap {
-            let drop_n = self.cap / 4 + 1;
-            entries.drain(..drop_n);
-        }
-        entries.push(TraceEntry {
-            pid,
-            kind,
-            word,
-            value,
-            remote,
-        });
     }
 
     /// Snapshot of the trace so far.
@@ -88,7 +71,7 @@ impl<'a, M: Mem + ?Sized> TracingMem<'a, M> {
         self.len() == 0
     }
 
-    /// Clear the trace (counters on the inner memory are untouched).
+    /// Clear the trace (counters on the traced memory are untouched).
     pub fn clear(&self) {
         self.entries.lock().unwrap().clear();
     }
@@ -105,59 +88,63 @@ impl<'a, M: Mem + ?Sized> TracingMem<'a, M> {
     }
 }
 
-impl<M: Mem + ?Sized> Mem for TracingMem<'_, M> {
-    fn read(&self, p: Pid, w: WordId) -> u64 {
-        let before = self.inner.rmrs(p);
-        let v = self.inner.read(p, w);
-        self.record(p, OpKind::Read, w, v, before);
-        v
+impl Interceptor for Tracer {
+    fn after(&self, pid: Pid, kind: OpKind, word: WordId, value: u64, remote: bool) {
+        let mut entries = self.entries.lock().unwrap();
+        if self.cap > 0 && entries.len() >= self.cap {
+            let drop_n = self.cap / 4 + 1;
+            entries.drain(..drop_n);
+        }
+        entries.push(TraceEntry {
+            pid,
+            kind,
+            word,
+            value,
+            remote,
+        });
+    }
+}
+
+/// A [`Mem`] wrapper recording every operation: the [`Layered`]
+/// instantiation of [`Tracer`]. See the module docs for the recording
+/// semantics.
+pub type TracingMem<'a, M> = Layered<'a, M, Tracer>;
+
+impl<'a, M: Mem + ?Sized> TracingMem<'a, M> {
+    /// Trace every operation against `inner`.
+    pub fn new(inner: &'a M) -> Self {
+        Layered::over(inner, Tracer::new())
     }
 
-    fn write(&self, p: Pid, w: WordId, v: u64) {
-        let before = self.inner.rmrs(p);
-        self.inner.write(p, w, v);
-        self.record(p, OpKind::Write, w, v, before);
+    /// Trace with a bound: once `cap` entries are recorded, older
+    /// entries are discarded from the front in blocks.
+    pub fn with_capacity_limit(inner: &'a M, cap: usize) -> Self {
+        Layered::over(inner, Tracer::with_capacity_limit(cap))
     }
 
-    fn cas(&self, p: Pid, w: WordId, old: u64, new: u64) -> bool {
-        let before = self.inner.rmrs(p);
-        let ok = self.inner.cas(p, w, old, new);
-        self.record(p, OpKind::Cas, w, u64::from(ok), before);
-        ok
+    /// Snapshot of the trace so far.
+    pub fn entries(&self) -> Vec<TraceEntry> {
+        self.layer().entries()
     }
 
-    fn faa(&self, p: Pid, w: WordId, add: u64) -> u64 {
-        let before = self.inner.rmrs(p);
-        let v = self.inner.faa(p, w, add);
-        self.record(p, OpKind::Faa, w, v, before);
-        v
+    /// Number of traced operations.
+    pub fn len(&self) -> usize {
+        self.layer().len()
     }
 
-    fn swap(&self, p: Pid, w: WordId, v: u64) -> u64 {
-        let before = self.inner.rmrs(p);
-        let prev = self.inner.swap(p, w, v);
-        self.record(p, OpKind::Swap, w, prev, before);
-        prev
+    /// Whether nothing was traced yet.
+    pub fn is_empty(&self) -> bool {
+        self.layer().is_empty()
     }
 
-    fn rmrs(&self, p: Pid) -> u64 {
-        self.inner.rmrs(p)
+    /// Clear the trace (counters on the inner memory are untouched).
+    pub fn clear(&self) {
+        self.layer().clear()
     }
 
-    fn total_rmrs(&self) -> u64 {
-        self.inner.total_rmrs()
-    }
-
-    fn ops(&self, p: Pid) -> u64 {
-        self.inner.ops(p)
-    }
-
-    fn num_words(&self) -> usize {
-        self.inner.num_words()
-    }
-
-    fn num_procs(&self) -> usize {
-        self.inner.num_procs()
+    /// RMR-costing entries only.
+    pub fn remote_entries(&self) -> Vec<TraceEntry> {
+        self.layer().remote_entries()
     }
 }
 

@@ -28,7 +28,7 @@
 //! ## Example
 //!
 //! ```
-//! use sal_obs::{PassageStats, ProbedMem, Probe};
+//! use sal_obs::{probed, PassageStats, Probe};
 //! use sal_memory::{Mem, MemoryBuilder};
 //!
 //! let mut b = MemoryBuilder::new();
@@ -36,7 +36,7 @@
 //! let mem = b.build_cc(2);
 //!
 //! let stats = PassageStats::new();
-//! let probed = ProbedMem::new(&mem, &stats);
+//! let probed = probed(&mem, &stats);
 //!
 //! stats.enter_begin(0);
 //! probed.faa(0, word, 1); // a lock would do this inside `enter`
@@ -64,6 +64,6 @@ pub use events::{EventLog, ObsEvent, ObsEventKind};
 pub use fairness::{FairnessMonitor, FcfsWitness, ProcFairness};
 pub use hist::Histogram;
 pub use json::{Json, ToJson};
-pub use mem::ProbedMem;
+pub use mem::{probed, ProbeLayer, ProbedMem};
 pub use probe::{Fanout, NoProbe, Probe};
 pub use stats::{PassageRecord, PassageStats, PassageSummary};

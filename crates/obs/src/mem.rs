@@ -1,13 +1,37 @@
 //! [`ProbedMem`]: a [`Mem`] wrapper that fires probe hooks for every
 //! shared-memory operation, classifying each as remote or local by
 //! consulting the inner memory's exact RMR accounting.
+//!
+//! Probing is implemented as a [`ProbeLayer`] interceptor over
+//! `sal_memory`'s generic [`Layered`] wrapper — [`ProbedMem`] is just the
+//! type alias `Layered<'a, M, ProbeLayer<'a, P>>`, built with [`probed`];
+//! there is no probe-specific forwarding code.
 
 use crate::probe::Probe;
-use sal_memory::{Mem, OpKind, Pid, WordId};
+use sal_memory::{Interceptor, Layered, Mem, OpKind, Pid, WordId};
 
-/// A memory wrapper reporting every operation to a [`Probe`].
+/// The [`Interceptor`] behind [`ProbedMem`]: after every operation it
+/// reports [`Probe::op`], and — when the layer's cost-model verdict says
+/// the operation was charged an RMR — [`Probe::rmr`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeLayer<'a, P: ?Sized> {
+    probe: &'a P,
+}
+
+impl<P: Probe + ?Sized> Interceptor for ProbeLayer<'_, P> {
+    fn after(&self, p: Pid, kind: OpKind, _w: WordId, _value: u64, remote: bool) {
+        self.probe.op(p, kind);
+        if remote {
+            self.probe.rmr(p, kind);
+        }
+    }
+}
+
+/// A memory wrapper reporting every operation to a [`Probe`]: the
+/// [`Layered`] instantiation of [`ProbeLayer`]. Build one with
+/// [`probed`].
 ///
-/// For each operation the wrapper calls [`Probe::op`], and — when the
+/// For each operation the layer calls [`Probe::op`], and — when the
 /// inner memory's per-process RMR counter advanced — [`Probe::rmr`].
 /// The classification is therefore exactly the inner cost model's (CC,
 /// DSM, or none for [`RawMemory`](sal_memory::RawMemory), whose counters
@@ -17,75 +41,14 @@ use sal_memory::{Mem, OpKind, Pid, WordId};
 /// truth remains available on the wrapper itself; under the simulator's
 /// `SteppedMem` these queries do not consume scheduling turns, so
 /// wrapping does not perturb schedules.
-#[derive(Debug)]
-pub struct ProbedMem<'a, M: Mem + ?Sized, P: Probe + ?Sized> {
+pub type ProbedMem<'a, M, P> = Layered<'a, M, ProbeLayer<'a, P>>;
+
+/// Wrap `inner`, reporting every operation to `probe`.
+pub fn probed<'a, M: Mem + ?Sized, P: Probe + ?Sized>(
     inner: &'a M,
     probe: &'a P,
-}
-
-impl<'a, M: Mem + ?Sized, P: Probe + ?Sized> ProbedMem<'a, M, P> {
-    /// Wrap `inner`, reporting every operation to `probe`.
-    pub fn new(inner: &'a M, probe: &'a P) -> Self {
-        ProbedMem { inner, probe }
-    }
-
-    /// The wrapped memory.
-    pub fn inner(&self) -> &'a M {
-        self.inner
-    }
-
-    #[inline]
-    fn observed<T>(&self, p: Pid, kind: OpKind, op: impl FnOnce() -> T) -> T {
-        let before = self.inner.rmrs(p);
-        let out = op();
-        self.probe.op(p, kind);
-        if self.inner.rmrs(p) != before {
-            self.probe.rmr(p, kind);
-        }
-        out
-    }
-}
-
-impl<M: Mem + ?Sized, P: Probe + ?Sized> Mem for ProbedMem<'_, M, P> {
-    fn read(&self, p: Pid, w: WordId) -> u64 {
-        self.observed(p, OpKind::Read, || self.inner.read(p, w))
-    }
-
-    fn write(&self, p: Pid, w: WordId, v: u64) {
-        self.observed(p, OpKind::Write, || self.inner.write(p, w, v));
-    }
-
-    fn cas(&self, p: Pid, w: WordId, old: u64, new: u64) -> bool {
-        self.observed(p, OpKind::Cas, || self.inner.cas(p, w, old, new))
-    }
-
-    fn faa(&self, p: Pid, w: WordId, add: u64) -> u64 {
-        self.observed(p, OpKind::Faa, || self.inner.faa(p, w, add))
-    }
-
-    fn swap(&self, p: Pid, w: WordId, v: u64) -> u64 {
-        self.observed(p, OpKind::Swap, || self.inner.swap(p, w, v))
-    }
-
-    fn rmrs(&self, p: Pid) -> u64 {
-        self.inner.rmrs(p)
-    }
-
-    fn total_rmrs(&self) -> u64 {
-        self.inner.total_rmrs()
-    }
-
-    fn ops(&self, p: Pid) -> u64 {
-        self.inner.ops(p)
-    }
-
-    fn num_words(&self) -> usize {
-        self.inner.num_words()
-    }
-
-    fn num_procs(&self) -> usize {
-        self.inner.num_procs()
-    }
+) -> ProbedMem<'a, M, P> {
+    Layered::over(inner, ProbeLayer { probe })
 }
 
 #[cfg(test)]
@@ -100,7 +63,7 @@ mod tests {
         let w = b.alloc(0);
         let mem = b.build_cc(2);
         let stats = PassageStats::new();
-        let pm = ProbedMem::new(&mem, &stats);
+        let pm = probed(&mem, &stats);
 
         stats.enter_begin(0);
         pm.write(0, w, 1); // remote: first touch
@@ -119,7 +82,7 @@ mod tests {
         let mut b = MemoryBuilder::new();
         let w = b.alloc(7);
         let mem = b.build_cc(3);
-        let pm = ProbedMem::new(&mem, &crate::NoProbe);
+        let pm = probed(&mem, &crate::NoProbe);
         assert_eq!(pm.read(1, w), 7);
         assert_eq!(pm.num_procs(), 3);
         assert_eq!(pm.num_words(), mem.num_words());

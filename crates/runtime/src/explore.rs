@@ -133,7 +133,8 @@ impl ExplorationResult {
         }
     }
 
-    /// The violating schedule as a replayable [`Recording`] — paste its
+    /// The violating schedule as a replayable
+    /// [`Recording`](crate::replay::Recording) — paste its
     /// [`serialize`](crate::replay::Recording::serialize)d form into a
     /// regression test and drive the workload with
     /// [`Recording::into_policy`](crate::replay::Recording::into_policy).

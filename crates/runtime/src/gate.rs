@@ -13,7 +13,7 @@
 //! `notify_all` design would thundering-herd all `N` waiters on every
 //! step and make 256-process simulations quadratically slow in wakeups.
 
-use sal_memory::{Mem, Pid, WordId};
+use sal_memory::{Interceptor, Layered, Mem, OpKind, Pid, WordId};
 use std::panic;
 use std::sync::{Condvar, Mutex};
 
@@ -202,71 +202,37 @@ impl StepGate {
     }
 }
 
-/// A [`Mem`] wrapper that funnels every operation through a [`StepGate`]:
-/// the memory handed to simulated process bodies.
-///
-/// Counter/metadata queries (`rmrs`, `ops`, …) pass through without
-/// consuming a turn — they are measurements, not steps of the algorithm.
-#[derive(Debug)]
-pub struct SteppedMem<'a, M: ?Sized> {
-    inner: &'a M,
+/// The [`Interceptor`] that turns any memory into a stepped one: its
+/// `before` hook blocks at the [`StepGate`] for the turn and its `after`
+/// hook returns it, so exactly one shared-memory operation happens per
+/// grant.
+#[derive(Debug, Clone, Copy)]
+pub struct StepLayer<'a> {
     gate: &'a StepGate,
 }
 
-impl<'a, M: Mem + ?Sized> SteppedMem<'a, M> {
-    /// Wrap `inner` so that operations synchronize through `gate`.
-    pub fn new(inner: &'a M, gate: &'a StepGate) -> Self {
-        SteppedMem { inner, gate }
+impl Interceptor for StepLayer<'_> {
+    fn before(&self, p: Pid, _kind: OpKind, _w: WordId) {
+        self.gate.begin_turn(p);
     }
 
-    fn step<R>(&self, p: Pid, f: impl FnOnce(&M) -> R) -> R {
-        self.gate.begin_turn(p);
-        let r = f(self.inner);
+    fn after(&self, p: Pid, _kind: OpKind, _w: WordId, _value: u64, _remote: bool) {
         self.gate.end_turn(p);
-        r
     }
 }
 
-impl<M: Mem + ?Sized> Mem for SteppedMem<'_, M> {
-    fn read(&self, p: Pid, w: WordId) -> u64 {
-        self.step(p, |m| m.read(p, w))
-    }
+/// A [`Mem`] wrapper that funnels every operation through a [`StepGate`]:
+/// the memory handed to simulated process bodies. This is the
+/// [`Layered`] instantiation of [`StepLayer`] — build one with
+/// [`stepped`].
+///
+/// Counter/metadata queries (`rmrs`, `ops`, …) pass through without
+/// consuming a turn — they are measurements, not steps of the algorithm.
+pub type SteppedMem<'a, M> = Layered<'a, M, StepLayer<'a>>;
 
-    fn write(&self, p: Pid, w: WordId, v: u64) {
-        self.step(p, |m| m.write(p, w, v))
-    }
-
-    fn cas(&self, p: Pid, w: WordId, old: u64, new: u64) -> bool {
-        self.step(p, |m| m.cas(p, w, old, new))
-    }
-
-    fn faa(&self, p: Pid, w: WordId, add: u64) -> u64 {
-        self.step(p, |m| m.faa(p, w, add))
-    }
-
-    fn swap(&self, p: Pid, w: WordId, v: u64) -> u64 {
-        self.step(p, |m| m.swap(p, w, v))
-    }
-
-    fn rmrs(&self, p: Pid) -> u64 {
-        self.inner.rmrs(p)
-    }
-
-    fn total_rmrs(&self) -> u64 {
-        self.inner.total_rmrs()
-    }
-
-    fn ops(&self, p: Pid) -> u64 {
-        self.inner.ops(p)
-    }
-
-    fn num_words(&self) -> usize {
-        self.inner.num_words()
-    }
-
-    fn num_procs(&self) -> usize {
-        self.inner.num_procs()
-    }
+/// Wrap `inner` so that operations synchronize through `gate`.
+pub fn stepped<'a, M: Mem + ?Sized>(inner: &'a M, gate: &'a StepGate) -> SteppedMem<'a, M> {
+    Layered::over(inner, StepLayer { gate })
 }
 
 #[cfg(test)]
@@ -289,7 +255,7 @@ mod tests {
                 let gate = Arc::clone(&gate);
                 let log = Arc::clone(&log);
                 scope.spawn(move || {
-                    let sm = SteppedMem::new(&*mem, &gate);
+                    let sm = stepped(&*mem, &gate);
                     for _ in 0..3 {
                         let v = sm.faa(p, w, 1);
                         log.lock().unwrap().push((p, v));
@@ -350,7 +316,7 @@ mod tests {
         let _w = b.alloc(0);
         let mem = b.build_cc(1);
         let gate = StepGate::new(1);
-        let sm = SteppedMem::new(&mem, &gate);
+        let sm = stepped(&mem, &gate);
         assert_eq!(sm.rmrs(0), 0);
         assert_eq!(sm.num_words(), 1);
         assert_eq!(sm.num_procs(), 1);
@@ -372,7 +338,7 @@ mod tests {
                 let mem = Arc::clone(&mem);
                 let gate = Arc::clone(&gate);
                 scope.spawn(move || {
-                    let sm = SteppedMem::new(&*mem, &gate);
+                    let sm = stepped(&*mem, &gate);
                     for _ in 0..100 {
                         sm.faa(p, w, 1);
                     }

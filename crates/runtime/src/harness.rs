@@ -15,7 +15,7 @@ use crate::schedule::SchedulePolicy;
 use crate::sim::{simulate, SimError, SimOptions};
 use sal_core::AbortableLock;
 use sal_memory::{AbortSignal, Mem, SignalFn, WordId};
-use sal_obs::{NoProbe, PassageRecord, PassageStats, Probe, ProbedMem};
+use sal_obs::{probed, NoProbe, PassageRecord, PassageStats, Probe};
 
 /// What one process does with its passages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -236,7 +236,7 @@ fn run_inner<M: Mem + ?Sized, U: Probe + 'static>(
                 ctx.event(EventKind::CsEnter);
                 // The CS body also routes through the probe, so CS RMRs
                 // land in the (still open) passage.
-                let pm = ProbedMem::new(ctx.mem, &probe);
+                let pm = probed(ctx.mem, &probe);
                 for _ in 0..spec.cs_ops {
                     pm.faa(ctx.pid, cs_word, 1);
                 }

@@ -56,7 +56,7 @@ mod sim;
 
 pub use events::{Event, EventKind, EventLog, FcfsViolation, MutexViolation};
 pub use explore::{explore, ExplorationResult, ExploreOptions, ForcedSchedule};
-pub use gate::{StepGate, SteppedMem};
+pub use gate::{stepped, StepGate, StepLayer, SteppedMem};
 pub use harness::{
     run_lock, run_lock_probed, run_one_shot, run_one_shot_probed, ProcPlan, Role, WorkloadReport,
     WorkloadSpec,

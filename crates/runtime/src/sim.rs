@@ -2,7 +2,7 @@
 //! step at a time, under a schedule policy.
 
 use crate::events::{EventKind, EventLog};
-use crate::gate::{Shutdown, StepGate, SteppedMem};
+use crate::gate::{stepped, Shutdown, StepGate, SteppedMem};
 use crate::schedule::{SchedStatus, SchedulePolicy};
 use sal_memory::{AbortFlag, Mem, Pid};
 use sal_obs::{NoProbe, Probe};
@@ -173,7 +173,7 @@ where
             let panics = &panics;
             let body = &body;
             scope.spawn(move || {
-                let sm = SteppedMem::new(mem, gate);
+                let sm = stepped(mem, gate);
                 let ctx = ProcCtx {
                     pid,
                     mem: &sm,

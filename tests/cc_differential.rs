@@ -1,0 +1,179 @@
+//! Differential test of the sharded lock-free `CcMemory` against the
+//! retained global-mutex reference `MutexCcMemory`.
+//!
+//! The sharded engine's whole claim is *bit-identical accounting*: on
+//! any serialized operation sequence it must return the same values and
+//! charge the same per-process RMR/op counts as the obviously-correct
+//! single-lock implementation it replaced. This suite replays seeded
+//! random sequences of all five `OpKind`s (including `Swap`, a
+//! write-type invalidator) against both implementations side by side,
+//! asserting equality after *every* operation — in dense and sparse
+//! epoch-table mode — plus a handful of adversarial scripted schedules
+//! around the write-run edge cases.
+
+use sal_memory::{EpochMode, Mem, MemoryBuilder, WordId};
+use sal_runtime::SmallRng;
+
+/// Apply one random operation to both memories, asserting identical
+/// observable results.
+fn step(rng: &mut SmallRng, sharded: &dyn Mem, oracle: &dyn Mem, nprocs: usize, nwords: usize) {
+    let p = rng.random_range(0..nprocs);
+    let w = WordId::from_index(rng.random_range(0..nwords));
+    match rng.random_range(0..5) {
+        0 => assert_eq!(sharded.read(p, w), oracle.read(p, w), "read value diverged"),
+        1 => {
+            let v = rng.next_u64() % 16;
+            sharded.write(p, w, v);
+            oracle.write(p, w, v);
+        }
+        2 => {
+            // Draw `old` from a small domain so CASes succeed and fail in
+            // a healthy mix (both paths are write-type; both must charge).
+            let old = rng.next_u64() % 16;
+            let new = rng.next_u64() % 16;
+            assert_eq!(
+                sharded.cas(p, w, old, new),
+                oracle.cas(p, w, old, new),
+                "cas outcome diverged"
+            );
+        }
+        3 => {
+            let add = rng.next_u64(); // wrapping: exercise overflow too
+            assert_eq!(
+                sharded.faa(p, w, add),
+                oracle.faa(p, w, add),
+                "faa previous value diverged"
+            );
+        }
+        _ => {
+            let v = rng.next_u64() % 16;
+            assert_eq!(
+                sharded.swap(p, w, v),
+                oracle.swap(p, w, v),
+                "swap previous value diverged"
+            );
+        }
+    }
+    assert_eq!(sharded.rmrs(p), oracle.rmrs(p), "rmrs(p) diverged after op by {p}");
+    assert_eq!(sharded.ops(p), oracle.ops(p), "ops(p) diverged after op by {p}");
+}
+
+fn run_seed(seed: u64, nprocs: usize, nwords: usize, ops: usize, mode: EpochMode) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut inits = Vec::with_capacity(nwords);
+    let mut b_sharded = MemoryBuilder::new();
+    let mut b_oracle = MemoryBuilder::new();
+    for _ in 0..nwords {
+        let init = rng.next_u64() % 16;
+        inits.push(init);
+        b_sharded.alloc(init);
+        b_oracle.alloc(init);
+    }
+    let sharded = b_sharded.build_cc_with(nprocs, mode);
+    let oracle = b_oracle.build_cc_mutex(nprocs);
+
+    for _ in 0..ops {
+        step(&mut rng, &sharded, &oracle, nprocs, nwords);
+    }
+    // Final totals, every process.
+    for p in 0..nprocs {
+        assert_eq!(sharded.rmrs(p), oracle.rmrs(p));
+        assert_eq!(sharded.ops(p), oracle.ops(p));
+    }
+    assert_eq!(sharded.total_rmrs(), oracle.total_rmrs());
+    // Final values, every word.
+    for i in 0..nwords {
+        let w = WordId::from_index(i);
+        // One more read each — also must agree on its locality.
+        let before_s = sharded.rmrs(0);
+        let before_o = oracle.rmrs(0);
+        assert_eq!(sharded.read(0, w), oracle.read(0, w), "final value of word {i}");
+        assert_eq!(sharded.rmrs(0) - before_s, oracle.rmrs(0) - before_o);
+    }
+}
+
+#[test]
+fn seeded_sequences_account_identically_dense() {
+    for seed in 0..256 {
+        run_seed(seed, 4, 6, 400, EpochMode::Dense);
+    }
+}
+
+#[test]
+fn seeded_sequences_account_identically_sparse() {
+    for seed in 0..256 {
+        run_seed(seed, 4, 6, 400, EpochMode::Sparse);
+    }
+}
+
+#[test]
+fn wide_configs_account_identically() {
+    // Sweep shapes: single word (maximum interleaving), many words
+    // (locality), many procs (long foreign-write chains).
+    for (seed, nprocs, nwords) in [(1, 1, 1), (2, 2, 1), (3, 8, 3), (4, 3, 32), (5, 16, 16)] {
+        run_seed(seed, nprocs, nwords, 1000, EpochMode::Auto);
+    }
+}
+
+#[test]
+fn scripted_write_run_edge_cases_match() {
+    // The locality rule's subtle branch is the write-run tracking:
+    // `r >= run_start` with interleaved foreign writers. Pin the exact
+    // schedules from the cc.rs unit tests against the oracle too.
+    let scripts: &[&[(usize, u8)]] = &[
+        // (pid, op): 0=read, 1=write, 2=failed-cas, 3=swap, 4=faa
+        &[(0, 0), (1, 1), (0, 1), (0, 0)],         // foreign write inside own run
+        &[(0, 0), (0, 1), (0, 1), (0, 0)],         // own run keeps copy valid
+        &[(0, 0), (1, 2), (0, 0)],                 // failed CAS invalidates
+        &[(0, 0), (1, 3), (0, 0), (1, 4), (0, 0)], // swap and faa invalidate
+        &[(0, 0), (0, 0), (0, 0)],                 // pure spinning is free
+    ];
+    for script in scripts {
+        let mut bs = MemoryBuilder::new();
+        let mut bo = MemoryBuilder::new();
+        bs.alloc(0);
+        bo.alloc(0);
+        let sharded = bs.build_cc(2);
+        let oracle = bo.build_cc_mutex(2);
+        let w = WordId::from_index(0);
+        for &(p, op) in *script {
+            match op {
+                0 => assert_eq!(sharded.read(p, w), oracle.read(p, w)),
+                1 => {
+                    sharded.write(p, w, 7);
+                    oracle.write(p, w, 7);
+                }
+                2 => assert_eq!(sharded.cas(p, w, 999, 1), oracle.cas(p, w, 999, 1)),
+                3 => assert_eq!(sharded.swap(p, w, 5), oracle.swap(p, w, 5)),
+                _ => assert_eq!(sharded.faa(p, w, 1), oracle.faa(p, w, 1)),
+            }
+            for q in 0..2 {
+                assert_eq!(sharded.rmrs(q), oracle.rmrs(q), "script {script:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn counter_reset_keeps_the_pair_in_lockstep() {
+    let mut bs = MemoryBuilder::new();
+    let mut bo = MemoryBuilder::new();
+    for _ in 0..4 {
+        bs.alloc(0);
+        bo.alloc(0);
+    }
+    let sharded = bs.build_cc(3);
+    let oracle = bo.build_cc_mutex(3);
+    let mut rng = SmallRng::seed_from_u64(42);
+    for round in 0..4 {
+        for _ in 0..200 {
+            step(&mut rng, &sharded, &oracle, 3, 4);
+        }
+        sharded.reset_counters();
+        oracle.reset_counters();
+        for p in 0..3 {
+            assert_eq!(sharded.rmrs(p), 0, "round {round}");
+            assert_eq!(oracle.rmrs(p), 0);
+        }
+    }
+}

@@ -15,7 +15,7 @@
 use sal_core::long_lived::BoundedLongLivedLock;
 use sal_core::one_shot::OneShotLock;
 use sal_memory::{Mem, MemoryBuilder, NeverAbort, WordId};
-use sal_obs::{PassageRecord, PassageStats, ProbedMem};
+use sal_obs::{probed, PassageRecord, PassageStats};
 use sal_runtime::{
     run_lock_probed, run_one_shot_probed, ProcPlan, RandomSchedule, RoundRobin, Scripted,
     WorkloadReport, WorkloadSpec,
@@ -170,7 +170,7 @@ fn directly_driven_one_shot_matches_ground_truth_without_the_harness() {
     // ProbedMem-wrapped CS are the whole accounting path.
     for p in 0..n {
         assert!(lock.enter_probed(&mem, p, &NeverAbort, &stats).entered());
-        ProbedMem::new(&mem, &stats).faa(p, cs, 1);
+        probed(&mem, &stats).faa(p, cs, 1);
         lock.exit_probed(&mem, p, &stats);
     }
     // Ground truth first: the verification read of `cs` below is itself
@@ -192,7 +192,7 @@ fn directly_driven_long_lived_matches_ground_truth_across_instance_switches() {
     for attempt in 0..8 {
         let p = attempt % 2;
         assert!(lock.enter_probed(&mem, p, &NeverAbort, &stats));
-        ProbedMem::new(&mem, &stats).faa(p, cs, 1);
+        probed(&mem, &stats).faa(p, cs, 1);
         lock.exit_probed(&mem, p, &stats);
     }
     assert_eq!(stats.total_entered(), 8);

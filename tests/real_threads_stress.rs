@@ -8,17 +8,19 @@ use sal_baselines::{LeeLock, McsLock, ScottLock, TournamentLock};
 use sal_core::long_lived::BoundedLongLivedLock;
 use sal_core::one_shot::OneShotLock;
 use sal_core::AbortableLock;
-use sal_memory::{AbortFlag, MemoryBuilder, NeverAbort, RawMemory};
+use sal_memory::{AbortFlag, EpochMode, Mem, MemoryBuilder, NeverAbort};
 use sal_obs::NoProbe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Run `threads` real threads × `passages` each over `lock`, counting
 /// CS entries with a plain (non-simulated) counter protected by the
-/// lock itself; returns (entered, aborted).
-fn hammer(
+/// lock itself; returns (entered, aborted). Generic over the memory
+/// flavour: the same traffic runs on bare `RawMemory` or on the
+/// instrumented lock-free `CcMemory`.
+fn hammer<M: Mem + Send + Sync>(
     lock: Arc<dyn AbortableLock>,
-    mem: Arc<RawMemory>,
+    mem: Arc<M>,
     threads: usize,
     passages: usize,
     abort_every: Option<usize>,
@@ -190,6 +192,108 @@ fn baselines_on_real_threads() {
     let mem = Arc::new(b.build_raw(threads));
     let (entered, aborted) = hammer(Arc::new(l), mem, threads, 200, Some(4));
     assert_eq!(entered + aborted, 6 * 200);
+}
+
+/// Free-running threads hammer the sharded `CcMemory` directly (no lock,
+/// no simulator): accounting must stay *exact* under genuine parallelism.
+/// Each thread issues a known mix of operations, so its own counters have
+/// closed-form expectations independent of the interleaving — per-process
+/// ops equal issued ops, each write-type op is exactly one RMR, and the
+/// F&A word conserves its total.
+fn cc_direct_stress(mode: EpochMode, threads: usize, per_thread: u64) {
+    let mut b = MemoryBuilder::new();
+    let counter = b.alloc(0);
+    let scratch = b.alloc_array(threads, 0);
+    let mem = Arc::new(b.build_cc_with(threads, mode));
+    let monitor_stop = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        // A monitor thread samples the global total concurrently: it must
+        // be monotone (counters only ever advance).
+        {
+            let mem = Arc::clone(&mem);
+            let stop = Arc::clone(&monitor_stop);
+            s.spawn(move || {
+                let mut last = 0;
+                while stop.load(Ordering::Acquire) == 0 {
+                    let now = mem.total_rmrs();
+                    assert!(now >= last, "total_rmrs went backwards: {last} -> {now}");
+                    last = now;
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        let handles: Vec<_> = (0..threads)
+            .map(|p| {
+                let mem = Arc::clone(&mem);
+                s.spawn(move || {
+                    let mine = scratch.at(p);
+                    for i in 0..per_thread {
+                        mem.faa(p, counter, 1); // contended word
+                        mem.write(p, mine, i); // mostly-private word
+                        mem.read(p, mine);
+                        if i % 8 == 0 {
+                            mem.read(p, counter);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        monitor_stop.store(1, Ordering::Release);
+    });
+
+    let reads_of_counter = per_thread.div_ceil(8);
+    let mut issued_total = 0;
+    for p in 0..threads {
+        let issued = per_thread * 3 + reads_of_counter;
+        issued_total += issued;
+        assert_eq!(mem.ops(p), issued, "process {p}: ops must equal issued ops");
+        // Every faa and write is exactly 1 RMR; each read is 0 or 1.
+        let write_type = per_thread * 2;
+        assert!(mem.rmrs(p) >= write_type, "process {p}: write-type RMRs missing");
+        assert!(mem.rmrs(p) <= issued, "process {p}: more RMRs than ops");
+    }
+    let total_ops: u64 = (0..threads).map(|p| mem.ops(p)).sum();
+    assert_eq!(total_ops, issued_total, "ops conservation across processes");
+    // The contended word saw every increment exactly once.
+    assert_eq!(mem.read(0, counter), threads as u64 * per_thread);
+}
+
+#[test]
+fn cc_memory_direct_stress_dense_epochs() {
+    cc_direct_stress(EpochMode::Dense, 8, 20_000);
+}
+
+#[test]
+fn cc_memory_direct_stress_sparse_epochs() {
+    cc_direct_stress(EpochMode::Sparse, 8, 5_000);
+}
+
+#[test]
+fn bounded_long_lived_on_instrumented_cc_memory_real_threads() {
+    // The same lock traffic the RawMemory tests run, but over the
+    // sharded *instrumented* memory on free-running threads: mutual
+    // exclusion must hold and the accounting must stay consistent.
+    let threads = 8;
+    let mut b = MemoryBuilder::new();
+    let lock = BoundedLongLivedLock::layout(&mut b, threads, 8);
+    let mem = Arc::new(b.build_cc(threads));
+    let (entered, aborted) = hammer(Arc::new(lock), Arc::clone(&mem), threads, 100, None);
+    assert_eq!(entered, 8 * 100);
+    assert_eq!(aborted, 0);
+    // Sanity on the accounting: every process did shared-memory work and
+    // was charged for it; totals are sums of the per-process counters.
+    let mut rmr_sum = 0;
+    for p in 0..threads {
+        assert!(mem.ops(p) > 0, "process {p} issued no ops?");
+        assert!(mem.rmrs(p) > 0, "process {p} paid no RMRs?");
+        assert!(mem.rmrs(p) <= mem.ops(p));
+        rmr_sum += mem.rmrs(p);
+    }
+    assert_eq!(rmr_sum, mem.total_rmrs());
 }
 
 #[test]
