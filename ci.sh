@@ -9,5 +9,10 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 cargo test --release -q
+# Parallel experiment engine: determinism across worker counts, and the
+# scaling smoke (which itself asserts parallel output is byte-identical
+# to the serial reference before reporting any timing).
+SAL_JOBS=2 cargo test --release -q -p sal-bench --test parallel_determinism
+cargo run --release -q -p sal-bench --bin expscale -- --smoke
 cargo clippy -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

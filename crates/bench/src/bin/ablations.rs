@@ -12,31 +12,37 @@
 //!   what it costs under CC and what it saves under DSM.
 //! * `wrapper` — Figure-5 simple vs §6.2 bounded: the price of bounded
 //!   space.
+//!
+//! Independent grid cells run on the work-stealing pool (`--jobs N` /
+//! `SAL_JOBS`, default = available parallelism); results are gathered
+//! in cell order so output is byte-identical to a serial run.
 
 use sal_bench::report::save_json;
-use sal_bench::{no_abort_sweep, worst_case_sweep, LockKind, Table};
+use sal_bench::{no_abort_sweep, par_grid, worst_case_sweep, LockKind, Table};
 use sal_core::long_lived::BoundedLongLivedLock;
 use sal_core::one_shot::DsmOneShotLock;
 use sal_core::tree::Ascent;
 use sal_memory::{Mem, MemoryBuilder, NeverAbort, RmrProbe};
 
 /// Adaptive vs plain ascent, complete-passage worst case.
-fn sidestep() {
+fn sidestep(jobs: usize) {
     let mut table = Table::new(
         "A1 — ablation: AdaptiveFindNext (Alg 4.3) vs FindNext (Alg 4.1), worst-case passage",
         &["N", "plain ascent", "adaptive ascent"],
     );
-    let mut points = Vec::new();
-    for &n in &[16usize, 64, 256] {
+    let ns = [16usize, 64, 256];
+    let points = par_grid(jobs, &ns, |&n| {
         let plain = worst_case_sweep(LockKind::OneShotPlain { b: 2 }, n, 17).expect("sim");
         let adaptive = worst_case_sweep(LockKind::OneShot { b: 2 }, n, 17).expect("sim");
         assert!(plain.mutex_ok && adaptive.mutex_ok);
+        (n, plain.max_entered_rmrs, adaptive.max_entered_rmrs)
+    });
+    for &(n, plain, adaptive) in &points {
         table.row(vec![
             n.to_string(),
-            plain.max_entered_rmrs.to_string(),
-            adaptive.max_entered_rmrs.to_string(),
+            plain.to_string(),
+            adaptive.to_string(),
         ]);
-        points.push((n, plain.max_entered_rmrs, adaptive.max_entered_rmrs));
     }
     table.print();
     println!(
@@ -49,13 +55,17 @@ fn sidestep() {
         "A1b — same ablation at A = 2 aborters (N = 256): adaptivity is the whole story",
         &["ascent", "max RMRs/passage"],
     );
-    for (label, kind) in [
+    let variants = [
         ("plain", LockKind::OneShotPlain { b: 2 }),
         ("adaptive", LockKind::OneShot { b: 2 }),
-    ] {
+    ];
+    let rows = par_grid(jobs, &variants, |&(label, kind)| {
         let p = sal_bench::adaptive_sweep(kind, 256, 2, 23).expect("sim");
         assert!(p.mutex_ok);
-        table.row(vec![label.into(), p.max_entered_rmrs.to_string()]);
+        (label, p.max_entered_rmrs)
+    });
+    for (label, max) in rows {
+        table.row(vec![label.into(), max.to_string()]);
     }
     table.print();
     save_json("ablation_sidestep", &points);
@@ -224,7 +234,7 @@ fn run_dsm<M: Mem>(lock: &DsmOneShotLock, mem: &M) -> u64 {
 }
 
 /// §7: what F&A buys over read+CAS emulation in the tree's Remove.
-fn faa() {
+fn faa(jobs: usize) {
     use sal_core::tree::Tree;
     use sal_runtime::{simulate, RandomSchedule, SimOptions};
 
@@ -232,36 +242,47 @@ fn faa() {
         "A5 — §7 primitive strength: total RMRs of k concurrent Removes under one B=64 node",
         &["k removers", "F&A (Alg 4.2)", "read+CAS emulation"],
     );
+    let ks = [2usize, 8, 32, 64];
+    // Flatten the whole (k × seed × mode) grid into independent cells,
+    // then reduce the gathered totals in deterministic cell order.
+    let cells: Vec<(usize, u64, bool)> = ks
+        .iter()
+        .flat_map(|&k| {
+            (0..10u64).flat_map(move |seed| [false, true].map(move |use_cas| (k, seed, use_cas)))
+        })
+        .collect();
+    let totals = par_grid(jobs, &cells, |&(k, seed, use_cas)| {
+        let mut b = MemoryBuilder::new();
+        let tree = Tree::layout(&mut b, 64, 64);
+        let mem = b.build_cc(k);
+        simulate(
+            &mem,
+            k,
+            Box::new(RandomSchedule::seeded(seed)),
+            SimOptions::default(),
+            |ctx| {
+                if use_cas {
+                    tree.remove_with_cas(ctx.mem, ctx.pid, ctx.pid as u64);
+                } else {
+                    tree.remove(ctx.mem, ctx.pid, ctx.pid as u64);
+                }
+            },
+        )
+        .expect("sim failed");
+        mem.total_rmrs()
+    });
     let mut points = Vec::new();
-    for &k in &[2usize, 8, 32, 64] {
+    for (row, chunk) in cells.chunks(20).enumerate() {
         let mut faa_total = 0u64;
         let mut cas_total = 0u64;
-        for seed in 0..10u64 {
-            for use_cas in [false, true] {
-                let mut b = MemoryBuilder::new();
-                let tree = Tree::layout(&mut b, 64, 64);
-                let mem = b.build_cc(k);
-                simulate(
-                    &mem,
-                    k,
-                    Box::new(RandomSchedule::seeded(seed)),
-                    SimOptions::default(),
-                    |ctx| {
-                        if use_cas {
-                            tree.remove_with_cas(ctx.mem, ctx.pid, ctx.pid as u64);
-                        } else {
-                            tree.remove(ctx.mem, ctx.pid, ctx.pid as u64);
-                        }
-                    },
-                )
-                .expect("sim failed");
-                if use_cas {
-                    cas_total += mem.total_rmrs();
-                } else {
-                    faa_total += mem.total_rmrs();
-                }
+        for (cell, total) in chunk.iter().zip(&totals[row * 20..]) {
+            if cell.2 {
+                cas_total += total;
+            } else {
+                faa_total += total;
             }
         }
+        let k = ks[row];
         table.row(vec![k.to_string(), faa_total.to_string(), cas_total.to_string()]);
         points.push((k, faa_total, cas_total));
     }
@@ -275,24 +296,26 @@ fn faa() {
 }
 
 /// Simple (unbounded) vs bounded wrapper cost.
-fn wrapper() {
+fn wrapper(jobs: usize) {
     let mut table = Table::new(
         "A4 — ablation: Figure-5 simple vs §6.2 bounded long-lived wrapper (N = 8, clean)",
         &["implementation", "max RMRs/passage", "mean RMRs/passage"],
     );
-    let mut points = Vec::new();
-    for kind in [
+    let kinds = [
         LockKind::LongLivedSimple { b: 8 },
         LockKind::LongLived { b: 8 },
-    ] {
+    ];
+    let points = par_grid(jobs, &kinds, |&kind| {
         let p = no_abort_sweep(kind, 8, 4, 31).expect("sim");
         assert!(p.mutex_ok);
+        p
+    });
+    for (kind, p) in kinds.iter().zip(&points) {
         table.row(vec![
             kind.label(),
             p.max_entered_rmrs.to_string(),
             format!("{:.1}", p.mean_entered_rmrs),
         ]);
-        points.push(p);
     }
     table.print();
     println!(
@@ -303,23 +326,30 @@ fn wrapper() {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    match arg.as_str() {
-        "sidestep" => sidestep(),
+    let (positional, jobs) = match sal_bench::parse_jobs_args(std::env::args().skip(1)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let arg = positional.first().map(String::as_str).unwrap_or("all");
+    match arg {
+        "sidestep" => sidestep(jobs),
         "resets" => resets(),
         "dsm" => {
             dsm();
             dsm_spin();
         }
-        "wrapper" => wrapper(),
-        "faa" => faa(),
+        "wrapper" => wrapper(jobs),
+        "faa" => faa(jobs),
         "all" => {
-            sidestep();
+            sidestep(jobs);
             resets();
             dsm();
             dsm_spin();
-            faa();
-            wrapper();
+            faa(jobs);
+            wrapper(jobs);
         }
         other => {
             eprintln!("unknown ablation {other}; use sidestep|resets|dsm|faa|wrapper|all");

@@ -1,0 +1,189 @@
+//! expscale — parallel experiment-engine scaling sweep.
+//!
+//! Runs a Table-1-shaped grid (lock kind × N × seed, each cell a full
+//! `worst_case_sweep_probed` simulation recording into its own event
+//! log) once serially and once per requested worker count, and reports
+//! wall-clock speedup. Before timing anything it proves the point of
+//! the deterministic gather: the *entire* output of a parallel pass —
+//! points JSON plus the merged JSONL event stream — is byte-identical
+//! to the serial pass at every worker count.
+//!
+//! ```text
+//! cargo run --release -p sal-bench --bin expscale -- \
+//!     [--workers 1,2,4,8] [--ns 16,32,64] [--seeds 1,2,3] [--reps 3] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks the grid to a seconds-long CI-sized check.
+//! Prints a table and saves `target/experiments/expscale.json`.
+
+use sal_bench::{grid::parse_list, par_grid, save_json, worst_case_sweep_probed, LockKind, Table};
+use sal_obs::{EventLog, Json, ToJson};
+use std::time::Instant;
+
+const B: usize = 16;
+
+#[derive(Debug)]
+struct Args {
+    workers: Vec<usize>,
+    ns: Vec<usize>,
+    seeds: Vec<u64>,
+    reps: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workers: vec![1, 2, 4, 8],
+            ns: vec![16, 32, 64],
+            seeds: vec![1, 2, 3],
+            reps: 3,
+        }
+    }
+}
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--workers" => args.workers = parse_list("--workers", &value()?)?,
+            "--ns" => args.ns = parse_list("--ns", &value()?)?,
+            "--seeds" => args.seeds = parse_list("--seeds", &value()?)?,
+            "--reps" => args.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?,
+            "--smoke" => {
+                args.workers = vec![1, 2];
+                args.ns = vec![8, 16];
+                args.seeds = vec![1];
+                args.reps = 1;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: expscale [--workers 1,2,4,8] [--ns 16,32,64] \
+                     [--seeds 1,2,3] [--reps R] [--smoke]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.workers.is_empty() || args.ns.is_empty() || args.seeds.is_empty() || args.reps == 0 {
+        return Err("need at least one worker count, N, seed and rep".into());
+    }
+    if args.ns.iter().any(|&n| n < 2) {
+        return Err("--ns entries must be >= 2".into());
+    }
+    Ok(args)
+}
+
+/// Evaluate the whole grid on `jobs` workers and render everything the
+/// run produces into one string: points JSON + merged event JSONL.
+/// Equal fingerprints ⇒ tables, JSON and JSONL exports are all
+/// byte-identical.
+fn run_grid(jobs: usize, cells: &[(LockKind, usize, u64)]) -> String {
+    let results = par_grid(jobs, cells, |&(kind, n, seed)| {
+        let cell_log = EventLog::unbounded();
+        let p = worst_case_sweep_probed(kind, n, seed, cell_log.clone()).expect("sim failed");
+        assert!(p.mutex_ok, "{} violated mutual exclusion", p.lock);
+        (p, cell_log)
+    });
+    let log = EventLog::unbounded();
+    let mut points = Vec::new();
+    for (p, cell_log) in results {
+        log.absorb(&cell_log);
+        points.push(p);
+    }
+    format!("{}\n{}", points.to_json().render(), log.to_jsonl())
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("expscale: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let kinds = LockKind::table1_rows(B);
+    let mut cells: Vec<(LockKind, usize, u64)> = Vec::new();
+    for &kind in &kinds {
+        for &n in &args.ns {
+            for &seed in &args.seeds {
+                cells.push((kind, n, seed));
+            }
+        }
+    }
+    println!(
+        "expscale: {} cells ({} kinds x {} ns x {} seeds), reps={}",
+        cells.len(),
+        kinds.len(),
+        args.ns.len(),
+        args.seeds.len(),
+        args.reps
+    );
+
+    // Serial reference pass: both the timing baseline and the
+    // fingerprint every parallel pass must reproduce exactly.
+    let t0 = Instant::now();
+    let reference = run_grid(1, &cells);
+    let mut serial_best = t0.elapsed().as_secs_f64();
+
+    let mut table = Table::new(
+        "expscale — experiment-engine scaling (same grid, more workers)",
+        &["workers", "seconds (best of reps)", "speedup", "output"],
+    );
+    let mut rows = Vec::new();
+    for &w in &args.workers {
+        let mut best = f64::MAX;
+        let mut identical = true;
+        for _ in 0..args.reps {
+            let t = Instant::now();
+            let fp = run_grid(w, &cells);
+            let dt = t.elapsed().as_secs_f64();
+            best = best.min(dt);
+            identical &= fp == reference;
+            if w == 1 {
+                serial_best = serial_best.min(dt);
+            }
+        }
+        assert!(
+            identical,
+            "parallel output at {w} workers diverged from the serial reference"
+        );
+        let baseline = if serial_best > 0.0 { serial_best } else { best };
+        let speedup = baseline / best;
+        table.row(vec![
+            w.to_string(),
+            format!("{best:.3}"),
+            format!("{speedup:.2}x"),
+            "byte-identical".into(),
+        ]);
+        rows.push(Json::obj(vec![
+            ("workers", Json::Int(w as i64)),
+            ("seconds", Json::Float(best)),
+            ("speedup", Json::Float(speedup)),
+            ("byte_identical", Json::Bool(identical)),
+        ]));
+    }
+    table.print();
+
+    let out = Json::obj(vec![
+        ("experiment", Json::Str("expscale".into())),
+        ("cells", Json::Int(cells.len() as i64)),
+        ("reps", Json::Int(args.reps as i64)),
+        (
+            "grid",
+            Json::Str(format!(
+                "table1_rows(B={B}) x ns={:?} x seeds={:?}, worst_case_sweep_probed",
+                args.ns, args.seeds
+            )),
+        ),
+        ("serial_seconds", Json::Float(serial_best)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    save_json("expscale", &out);
+}

@@ -1,7 +1,7 @@
 //! Regenerate the behaviours depicted in the paper's figures.
 //!
 //! ```text
-//! cargo run --release -p sal-bench --bin figures -- [fig2|fig4|fig5|logw|all]
+//! cargo run --release -p sal-bench --bin figures -- [fig2|fig4|fig5|logw|all] [--jobs N]
 //! ```
 //!
 //! * `fig2` — the three `FindNext(p)` scenarios (successor / ⊥ / ⊤),
@@ -13,8 +13,14 @@
 //! * `fig5` — the one-shot→long-lived transformation (E7): simple vs
 //!   bounded implementation, cost per passage across many instance
 //!   switches.
+//!
+//! Independent grid cells run on the work-stealing pool (`--jobs N` /
+//! `SAL_JOBS`, default = available parallelism); results are gathered
+//! in cell order so all output is byte-identical to a serial run.
 
-use sal_bench::{export_events, no_abort_sweep, save_json, worst_case_sweep, LockKind, Table};
+use sal_bench::{
+    export_events, no_abort_sweep, par_grid, save_json, worst_case_sweep, LockKind, Table,
+};
 use sal_core::tree::{FindNextResult, Tree};
 use sal_memory::{MemoryBuilder, RmrProbe};
 use sal_obs::{EventLog, ObsEventKind};
@@ -89,13 +95,12 @@ fn demo_crossed_paths() -> FindNextResult {
 
 /// E4: Figure 4 — plain ascent climbs to the lowest common ancestor,
 /// the adaptive ascent sidesteps to the right cousin.
-fn fig4() {
+fn fig4(jobs: usize) {
     let mut table = Table::new(
         "E4 — Figure 4: RMRs of FindNext(p) at the subtree boundary (successor adjacent, no aborts)",
         &["N", "B", "plain ascent", "adaptive ascent"],
     );
-    let mut points = Vec::new();
-    for &(n, bf) in &[
+    let geoms = [
         (1usize << 8, 2usize),
         (1 << 12, 2),
         (1 << 16, 2),
@@ -103,7 +108,8 @@ fn fig4() {
         (1 << 12, 4),
         (1 << 12, 16),
         (1 << 12, 64),
-    ] {
+    ];
+    let points = par_grid(jobs, &geoms, |&(n, bf)| {
         let mut b = MemoryBuilder::new();
         let tree = Tree::layout(&mut b, n, bf);
         let mem = b.build_cc(2);
@@ -119,13 +125,15 @@ fn fig4() {
             FindNextResult::Next(p + 1)
         );
         let adaptive = probe.rmrs(&mem);
+        (n, bf, plain, adaptive)
+    });
+    for &(n, bf, plain, adaptive) in &points {
         table.row(vec![
             n.to_string(),
             bf.to_string(),
             plain.to_string(),
             adaptive.to_string(),
         ]);
-        points.push((n, bf, plain, adaptive));
     }
     table.print();
     println!(
@@ -138,8 +146,8 @@ fn fig4() {
         "E4b — adaptive FindNext cost vs A (N = 2^16, B = 2): O(log A), not O(log N)",
         &["A (leaves removed after p)", "adaptive RMRs", "plain RMRs"],
     );
-    let mut points = Vec::new();
-    for k in [0usize, 2, 4, 6, 8, 10, 12, 14] {
+    let ks = [0usize, 2, 4, 6, 8, 10, 12, 14];
+    let points = par_grid(jobs, &ks, |&k| {
         let n = 1usize << 16;
         let mut b = MemoryBuilder::new();
         let tree = Tree::layout(&mut b, n, 2);
@@ -160,8 +168,10 @@ fn fig4() {
             FindNextResult::Next(a as u64 + 1)
         );
         let plain = probe.rmrs(&mem);
+        (a, adaptive, plain)
+    });
+    for &(a, adaptive, plain) in &points {
         table.row(vec![a.to_string(), adaptive.to_string(), plain.to_string()]);
-        points.push((a, adaptive, plain));
     }
     table.print();
     save_json("fig4_adaptive_vs_a", &points);
@@ -169,22 +179,25 @@ fn fig4() {
 
 /// E5: the headline `O(log_W N)` family — worst-case lock passage cost
 /// vs N for each branching factor.
-fn logw() {
+fn logw(jobs: usize) {
     let ns = [16usize, 64, 256];
     let bs = [2usize, 4, 16, 64];
     let mut table = Table::new(
         "E5 — O(log_B N) family: worst-case passage RMRs of the one-shot lock (N−2 aborters)",
         &["B \\ N", "N=16", "N=64", "N=256"],
     );
-    let mut points = Vec::new();
-    for &bf in &bs {
-        let mut cells = vec![format!("B={bf}")];
-        for &n in &ns {
-            let p = worst_case_sweep(LockKind::OneShot { b: bf }, n, 3).expect("sim failed");
-            assert!(p.mutex_ok);
-            cells.push(p.max_entered_rmrs.to_string());
-            points.push(p);
-        }
+    let cells: Vec<(usize, usize)> = bs
+        .iter()
+        .flat_map(|&bf| ns.iter().map(move |&n| (bf, n)))
+        .collect();
+    let points = par_grid(jobs, &cells, |&(bf, n)| {
+        let p = worst_case_sweep(LockKind::OneShot { b: bf }, n, 3).expect("sim failed");
+        assert!(p.mutex_ok);
+        p
+    });
+    for (row, chunk) in points.chunks(ns.len()).enumerate() {
+        let mut cells = vec![format!("B={}", bs[row])];
+        cells.extend(chunk.iter().map(|p| p.max_entered_rmrs.to_string()));
         table.row(cells);
     }
     table.print();
@@ -198,23 +211,29 @@ fn logw() {
         "E5b — FindNext worst case on the bare tree (only leaf N−1 live)",
         &["B \\ N", "N=2^10", "N=2^14", "N=2^18"],
     );
-    for &bf in &bs {
-        let mut cells = vec![format!("B={bf}")];
-        for &e in &[10u32, 14, 18] {
-            let n = 1usize << e;
-            let mut b = MemoryBuilder::new();
-            let tree = Tree::layout(&mut b, n, bf);
-            let mem = b.build_cc(1);
-            for q in 1..n - 1 {
-                tree.remove(&mem, 0, q as u64);
-            }
-            let probe = RmrProbe::start(&mem, 0);
-            assert_eq!(
-                tree.find_next(&mem, 0, 0),
-                FindNextResult::Next(n as u64 - 1)
-            );
-            cells.push(probe.rmrs(&mem).to_string());
+    let es = [10u32, 14, 18];
+    let cells: Vec<(usize, u32)> = bs
+        .iter()
+        .flat_map(|&bf| es.iter().map(move |&e| (bf, e)))
+        .collect();
+    let costs = par_grid(jobs, &cells, |&(bf, e)| {
+        let n = 1usize << e;
+        let mut b = MemoryBuilder::new();
+        let tree = Tree::layout(&mut b, n, bf);
+        let mem = b.build_cc(1);
+        for q in 1..n - 1 {
+            tree.remove(&mem, 0, q as u64);
         }
+        let probe = RmrProbe::start(&mem, 0);
+        assert_eq!(
+            tree.find_next(&mem, 0, 0),
+            FindNextResult::Next(n as u64 - 1)
+        );
+        probe.rmrs(&mem)
+    });
+    for (row, chunk) in costs.chunks(es.len()).enumerate() {
+        let mut cells = vec![format!("B={}", bs[row])];
+        cells.extend(chunk.iter().map(|c| c.to_string()));
         table.row(cells);
     }
     table.print();
@@ -223,20 +242,19 @@ fn logw() {
 
 /// E7: Figure 5 / §6 — the long-lived transformation across many
 /// instance switches, simple vs bounded.
-fn fig5() {
+fn fig5(jobs: usize) {
     let mut table = Table::new(
         "E7 — Figure 5: long-lived lock across instance switches (N = 8, 8 passages each, 2 aborters)",
         &["implementation", "max RMRs/passage", "mean RMRs/passage", "switches", "steps", "safe"],
     );
-    let mut points = Vec::new();
-    // Shared log for the JSONL export; a per-kind log counts each
-    // implementation's instance-switch notes. Both observe the same run
-    // through an owned `(A, B)` probe pair.
-    let log = EventLog::new(1 << 16);
-    for kind in [
+    let kinds = [
         LockKind::LongLivedSimple { b: 16 },
         LockKind::LongLived { b: 16 },
-    ] {
+    ];
+    // Each cell runs with its own export log + per-kind log (an owned
+    // `(A, B)` probe pair observing the same run); the export logs are
+    // absorbed in cell order afterwards.
+    let results = par_grid(jobs, &kinds, |&kind| {
         let built = sal_bench::build_lock(kind, 8, 8 * 8 + 16);
         let mut plans = vec![sal_runtime::ProcPlan::normal(8); 6];
         plans.extend(vec![sal_runtime::ProcPlan::aborter(8, 60); 2]);
@@ -245,14 +263,15 @@ fn fig5() {
             cs_ops: 2,
             max_steps: 60_000_000,
         };
-        let kind_log = EventLog::new(1 << 16);
+        let cell_log = EventLog::unbounded();
+        let kind_log = EventLog::unbounded();
         let report = sal_runtime::run_lock_probed(
             &*built.lock,
             &built.mem,
             built.cs_word,
             &spec,
             Box::new(sal_runtime::RandomSchedule::seeded(5)),
-            (log.clone(), kind_log.clone()),
+            (cell_log.clone(), kind_log.clone()),
         )
         .expect("sim failed");
         let switches = kind_log
@@ -260,20 +279,29 @@ fn fig5() {
             .iter()
             .filter(|e| matches!(e.kind, ObsEventKind::Note("instance-switch", _)))
             .count();
-        table.row(vec![
-            kind.label(),
-            report.max_entered_rmrs().to_string(),
-            format!("{:.1}", report.mean_entered_rmrs()),
-            switches.to_string(),
-            report.steps.to_string(),
-            report.mutex_check.is_ok().to_string(),
-        ]);
-        points.push((
+        (
             kind.label(),
             report.max_entered_rmrs(),
             report.mean_entered_rmrs(),
             switches,
-        ));
+            report.steps,
+            report.mutex_check.is_ok(),
+            cell_log,
+        )
+    });
+    let log = EventLog::unbounded();
+    let mut points = Vec::new();
+    for (label, max, mean, switches, steps, safe, cell_log) in results {
+        log.absorb(&cell_log);
+        table.row(vec![
+            label.clone(),
+            max.to_string(),
+            format!("{mean:.1}"),
+            switches.to_string(),
+            steps.to_string(),
+            safe.to_string(),
+        ]);
+        points.push((label, max, mean, switches));
     }
     table.print();
     println!(
@@ -294,17 +322,24 @@ fn fig5() {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    match arg.as_str() {
+    let (positional, jobs) = match sal_bench::parse_jobs_args(std::env::args().skip(1)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let arg = positional.first().map(String::as_str).unwrap_or("all");
+    match arg {
         "fig2" => fig2(),
-        "fig4" => fig4(),
-        "fig5" => fig5(),
-        "logw" => logw(),
+        "fig4" => fig4(jobs),
+        "fig5" => fig5(jobs),
+        "logw" => logw(jobs),
         "all" => {
             fig2();
-            fig4();
-            logw();
-            fig5();
+            fig4(jobs);
+            logw(jobs);
+            fig5(jobs);
         }
         other => {
             eprintln!("unknown figure {other}; use fig2|fig4|fig5|logw|all");

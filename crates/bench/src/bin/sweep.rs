@@ -10,8 +10,13 @@
 //! Locks: `one-shot`, `one-shot-plain`, `one-shot-dsm`, `long-lived`,
 //! `long-lived-simple`, `mcs`, `ticket`, `tas`, `tournament`, `scott`,
 //! `lee`. Policies: `random`, `round-robin`, `bursty`.
+//!
+//! `--seeds a,b,c` runs the same configuration once per seed — fanned
+//! out over the work-stealing pool (`--jobs N` / `SAL_JOBS`) and
+//! gathered in seed order — printing one row per seed plus an
+//! aggregate, so the output is identical at any worker count.
 
-use sal_bench::{build_lock, LockKind, Table};
+use sal_bench::{build_lock, par_grid, LockKind, Table};
 use sal_runtime::{
     run_lock, run_one_shot, BurstySchedule, ProcPlan, RandomSchedule, RoundRobin, SchedulePolicy,
     WorkloadSpec,
@@ -26,8 +31,10 @@ struct Args {
     abort_after: u64,
     passages: usize,
     seed: u64,
+    seeds: Vec<u64>,
     policy: String,
     cs_ops: usize,
+    jobs: usize,
 }
 
 impl Default for Args {
@@ -40,8 +47,10 @@ impl Default for Args {
             abort_after: 64,
             passages: 1,
             seed: 1,
+            seeds: Vec::new(),
             policy: "random".into(),
             cs_ops: 2,
+            jobs: 0,
         }
     }
 }
@@ -70,8 +79,10 @@ fn parse() -> Result<Args, String> {
                 args.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?
             }
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seeds" => args.seeds = sal_bench::grid::parse_list("--seeds", &value()?)?,
             "--policy" => args.policy = value()?,
             "--cs-ops" => args.cs_ops = value()?.parse().map_err(|e| format!("--cs-ops: {e}"))?,
+            "--jobs" => args.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
             "--help" | "-h" => {
                 // `println!` panics on EPIPE (e.g. `sweep --help | head`);
                 // help output should just stop quietly.
@@ -96,33 +107,115 @@ flags:
   --abort-after <s>    abort after waiting this many global steps (default 64)
   --passages <k>       passages per process (forced to 1 for one-shot locks)
   --seed <u64>         schedule seed (default 1)
+  --seeds <a,b,c>      run once per seed in parallel; one row per seed + aggregate
   --policy <p>         random | round-robin | bursty (default random)
-  --cs-ops <k>         shared ops inside the CS (default 2)";
+  --cs-ops <k>         shared ops inside the CS (default 2)
+  --jobs <k>           worker threads for --seeds fan-out (0 = auto; SAL_JOBS honoured)";
 
-fn lock_kind(args: &Args) -> Result<LockKind, String> {
-    Ok(match args.lock.as_str() {
-        "one-shot" => LockKind::OneShot { b: args.b },
-        "one-shot-plain" => LockKind::OneShotPlain { b: args.b },
-        "one-shot-dsm" => LockKind::OneShotDsm { b: args.b },
-        "long-lived" => LockKind::LongLived { b: args.b },
-        "long-lived-simple" => LockKind::LongLivedSimple { b: args.b },
-        "mcs" => LockKind::Mcs,
-        "ticket" => LockKind::Ticket,
-        "tas" => LockKind::Tas,
-        "tournament" => LockKind::Tournament,
-        "scott" => LockKind::Scott,
-        "lee" => LockKind::Lee,
-        other => return Err(format!("unknown lock {other}")),
+fn policy(args: &Args, seed: u64) -> Result<Box<dyn SchedulePolicy>, String> {
+    Ok(match args.policy.as_str() {
+        "random" => Box::new(RandomSchedule::seeded(seed)),
+        "round-robin" => Box::new(RoundRobin::new()),
+        "bursty" => Box::new(BurstySchedule::seeded(seed, 0.9)),
+        other => return Err(format!("unknown policy {other}")),
     })
 }
 
-fn policy(args: &Args) -> Result<Box<dyn SchedulePolicy>, String> {
-    Ok(match args.policy.as_str() {
-        "random" => Box::new(RandomSchedule::seeded(args.seed)),
-        "round-robin" => Box::new(RoundRobin::new()),
-        "bursty" => Box::new(BurstySchedule::seeded(args.seed, 0.9)),
-        other => return Err(format!("unknown policy {other}")),
+/// The per-seed metrics a multi-seed sweep reports.
+struct SeedPoint {
+    seed: u64,
+    steps: u64,
+    entered: usize,
+    aborted: usize,
+    max_entered_rmrs: u64,
+    mean_entered_rmrs: f64,
+    max_aborted_rmrs: u64,
+    mutex_ok: bool,
+}
+
+/// Run one (lock, workload, seed) cell and extract the row metrics.
+fn run_seed(kind: LockKind, args: &Args, seed: u64) -> Result<SeedPoint, String> {
+    let passages = if kind.one_shot() { 1 } else { args.passages };
+    let mut plans = vec![ProcPlan::normal(passages); args.n - args.aborters];
+    plans.extend(vec![
+        ProcPlan::aborter(passages, args.abort_after);
+        args.aborters
+    ]);
+    let attempts: usize = plans.iter().map(|p| p.passages).sum();
+    let built = build_lock(kind, args.n, attempts);
+    let spec = WorkloadSpec {
+        plans,
+        cs_ops: args.cs_ops,
+        max_steps: 200_000_000,
+    };
+    let pol = policy(args, seed)?;
+    let report = if kind.one_shot() {
+        run_one_shot(&*built.lock, &built.mem, built.cs_word, &spec, pol)
+    } else {
+        run_lock(&*built.lock, &built.mem, built.cs_word, &spec, pol)
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(SeedPoint {
+        seed,
+        steps: report.steps,
+        entered: report.total_entered(),
+        aborted: attempts - report.total_entered(),
+        max_entered_rmrs: report.max_entered_rmrs(),
+        mean_entered_rmrs: report.mean_entered_rmrs(),
+        max_aborted_rmrs: report.max_aborted_rmrs(),
+        mutex_ok: report.mutex_check.is_ok(),
     })
+}
+
+/// `--seeds a,b,c`: one simulation per seed on the pool, gathered in
+/// seed-list order.
+fn multi_seed(kind: LockKind, args: &Args) {
+    let points = par_grid(args.jobs, &args.seeds, |&seed| run_seed(kind, args, seed));
+    let mut t = Table::new(
+        format!(
+            "{} | N={} aborters={} policy={} | {} seeds",
+            kind.label(),
+            args.n,
+            args.aborters,
+            args.policy,
+            args.seeds.len()
+        ),
+        &[
+            "seed",
+            "steps",
+            "entered",
+            "aborted",
+            "max RMRs",
+            "mean RMRs",
+            "max aborted RMRs",
+            "mutex",
+        ],
+    );
+    let mut maxima = Vec::new();
+    for point in points {
+        let p = match point {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("simulation failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        t.row(vec![
+            p.seed.to_string(),
+            p.steps.to_string(),
+            p.entered.to_string(),
+            p.aborted.to_string(),
+            p.max_entered_rmrs.to_string(),
+            format!("{:.2}", p.mean_entered_rmrs),
+            p.max_aborted_rmrs.to_string(),
+            if p.mutex_ok { "held".into() } else { "VIOLATED".into() },
+        ]);
+        maxima.push(p.max_entered_rmrs);
+    }
+    t.print();
+    if let Some(summary) = sal_bench::report::RmrSummary::of(&maxima) {
+        println!("aggregate max-RMRs-per-seed: {}", summary.render());
+    }
 }
 
 fn main() {
@@ -133,7 +226,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let kind = match lock_kind(&args) {
+    let kind = match LockKind::parse(&args.lock, args.b) {
         Ok(k) => k,
         Err(e) => {
             eprintln!("error: {e}");
@@ -152,6 +245,10 @@ fn main() {
         eprintln!("error: {} is not abortable", kind.label());
         std::process::exit(2);
     }
+    if !args.seeds.is_empty() {
+        multi_seed(kind, &args);
+        return;
+    }
     let passages = if kind.one_shot() { 1 } else { args.passages };
     let mut plans = vec![ProcPlan::normal(passages); args.n - args.aborters];
     plans.extend(vec![
@@ -165,7 +262,7 @@ fn main() {
         cs_ops: args.cs_ops,
         max_steps: 200_000_000,
     };
-    let pol = match policy(&args) {
+    let pol = match policy(&args, args.seed) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,17 +1,23 @@
 //! Regenerate Table 1 of the paper from measured RMR counts.
 //!
 //! ```text
-//! cargo run --release -p sal-bench --bin table1 -- [worst-case|no-abort|adaptive|space|fairness|all]
+//! cargo run --release -p sal-bench --bin table1 -- \
+//!     [worst-case|no-abort|adaptive|space|fairness|all] [--jobs N]
 //! ```
 //!
 //! Each subcommand regenerates one column of Table 1 (see DESIGN.md
 //! experiment ids E1–E3, E8–E10); `all` runs everything. Numbers are
 //! exact RMR counts under the paper's CC cost model (§2), measured by
 //! `sal-memory`, with schedules driven by `sal-runtime`.
+//!
+//! Grid cells are independent simulations, so they fan out over the
+//! work-stealing pool (`--jobs N`, or `SAL_JOBS`, default = available
+//! parallelism) and are gathered in cell order — tables, JSON and
+//! JSONL exports are byte-identical at any worker count.
 
 use sal_bench::{
-    adaptive_sweep_probed, export_events, no_abort_sweep, no_abort_sweep_probed, save_json,
-    space_row, worst_case_sweep, LockKind, Table,
+    adaptive_sweep_probed, export_events, no_abort_sweep, no_abort_sweep_probed, par_grid,
+    save_json, space_row, worst_case_sweep, LockKind, Table,
 };
 use sal_obs::EventLog;
 use sal_runtime::{run_one_shot, ProcPlan, RandomSchedule, WorkloadSpec};
@@ -20,21 +26,25 @@ const B: usize = 16; // branching factor for "our" locks in the comparison
 
 /// E1: Table 1 "Worst-case" column — all but two processes abort while
 /// queued; report the worst complete passage.
-fn worst_case() {
+fn worst_case(jobs: usize) {
     let ns = [8usize, 16, 32, 64, 128, 256];
     let mut table = Table::new(
         "E1 — Table 1 'Worst-case': max RMRs of a complete passage, N−2 aborters",
         &["lock", "N=8", "N=16", "N=32", "N=64", "N=128", "N=256"],
     );
-    let mut points = Vec::new();
-    for kind in LockKind::table1_rows(B) {
-        let mut cells = vec![kind.label()];
-        for &n in &ns {
-            let p = worst_case_sweep(kind, n, 42).expect("sim failed");
-            assert!(p.mutex_ok, "{} violated mutual exclusion", p.lock);
-            cells.push(p.max_entered_rmrs.to_string());
-            points.push(p);
-        }
+    let kinds = LockKind::table1_rows(B);
+    let cells: Vec<(LockKind, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| ns.iter().map(move |&n| (kind, n)))
+        .collect();
+    let points = par_grid(jobs, &cells, |&(kind, n)| {
+        let p = worst_case_sweep(kind, n, 42).expect("sim failed");
+        assert!(p.mutex_ok, "{} violated mutual exclusion", p.lock);
+        p
+    });
+    for (row, chunk) in points.chunks(ns.len()).enumerate() {
+        let mut cells = vec![kinds[row].label()];
+        cells.extend(chunk.iter().map(|p| p.max_entered_rmrs.to_string()));
         table.row(cells);
     }
     table.print();
@@ -46,7 +56,7 @@ fn worst_case() {
 }
 
 /// E2 + E10: Table 1 "No aborts" column — clean passages only.
-fn no_abort() {
+fn no_abort(jobs: usize) {
     let ns = [8usize, 16, 32, 64, 128, 256];
     let mut table = Table::new(
         "E2/E10 — Table 1 'No aborts': max RMRs of a passage, zero aborters",
@@ -54,18 +64,29 @@ fn no_abort() {
     );
     let mut kinds = LockKind::table1_rows(B);
     kinds.push(LockKind::Mcs); // the classic O(1) yardstick
+    let cells: Vec<(LockKind, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| ns.iter().map(move |&n| (kind, n)))
+        .collect();
+    // Each cell records into its own unbounded log; the driver absorbs
+    // them in cell order, so the JSONL export never silently overflows
+    // and is identical at any worker count.
+    let results = par_grid(jobs, &cells, |&(kind, n)| {
+        let cell_log = EventLog::unbounded();
+        let passages = if kind.one_shot() { 1 } else { 2 };
+        let p = no_abort_sweep_probed(kind, n, passages, 7, cell_log.clone()).expect("sim failed");
+        assert!(p.mutex_ok, "{} violated mutual exclusion", p.lock);
+        (p, cell_log)
+    });
+    let log = EventLog::unbounded();
     let mut points = Vec::new();
-    // Every run also feeds a shared event log for the JSONL export.
-    let log = EventLog::new(1 << 16);
-    for kind in kinds {
-        let mut cells = vec![kind.label()];
-        for &n in &ns {
-            let passages = if kind.one_shot() { 1 } else { 2 };
-            let p = no_abort_sweep_probed(kind, n, passages, 7, log.clone()).expect("sim failed");
-            assert!(p.mutex_ok, "{} violated mutual exclusion", p.lock);
-            cells.push(p.max_entered_rmrs.to_string());
-            points.push(p);
-        }
+    for (p, cell_log) in results {
+        log.absorb(&cell_log);
+        points.push(p);
+    }
+    for (row, chunk) in points.chunks(ns.len()).enumerate() {
+        let mut cells = vec![kinds[row].label()];
+        cells.extend(chunk.iter().map(|p| p.max_entered_rmrs.to_string()));
         table.row(cells);
     }
     table.print();
@@ -106,23 +127,33 @@ fn no_abort() {
 
 /// E3: Table 1 "Adaptive bound" column — fixed N, sweep the number of
 /// aborters A.
-fn adaptive() {
+fn adaptive(jobs: usize) {
     let n = 256;
     let aborters = [0usize, 1, 4, 16, 64, 254];
     let mut table = Table::new(
         format!("E3 — Table 1 'Adaptive bound': max RMRs of a complete passage, N = {n}"),
         &["lock", "A=0", "A=1", "A=4", "A=16", "A=64", "A=254"],
     );
+    let kinds = LockKind::table1_rows(B);
+    let cells: Vec<(LockKind, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| aborters.iter().map(move |&a| (kind, a)))
+        .collect();
+    let results = par_grid(jobs, &cells, |&(kind, a)| {
+        let cell_log = EventLog::unbounded();
+        let p = adaptive_sweep_probed(kind, n, a, 11, cell_log.clone()).expect("sim failed");
+        assert!(p.mutex_ok, "{} violated mutual exclusion", p.lock);
+        (p, cell_log)
+    });
+    let log = EventLog::unbounded();
     let mut points = Vec::new();
-    let log = EventLog::new(1 << 16);
-    for kind in LockKind::table1_rows(B) {
-        let mut cells = vec![kind.label()];
-        for &a in &aborters {
-            let p = adaptive_sweep_probed(kind, n, a, 11, log.clone()).expect("sim failed");
-            assert!(p.mutex_ok, "{} violated mutual exclusion", p.lock);
-            cells.push(p.max_entered_rmrs.to_string());
-            points.push(p);
-        }
+    for (p, cell_log) in results {
+        log.absorb(&cell_log);
+        points.push(p);
+    }
+    for (row, chunk) in points.chunks(aborters.len()).enumerate() {
+        let mut cells = vec![kinds[row].label()];
+        cells.extend(chunk.iter().map(|p| p.max_entered_rmrs.to_string()));
         table.row(cells);
     }
     table.print();
@@ -135,20 +166,23 @@ fn adaptive() {
 }
 
 /// E8: Table 1 "Space" column — measured shared words vs N.
-fn space() {
+fn space(jobs: usize) {
     let ns = [8usize, 16, 32, 64, 128, 256];
     let mut table = Table::new(
         "E8 — Table 1 'Space': shared words allocated (attempts = N)",
         &["lock", "N=8", "N=16", "N=32", "N=64", "N=128", "N=256"],
     );
-    let mut rows = Vec::new();
-    for kind in LockKind::table1_rows(B) {
-        let mut cells = vec![kind.label()];
-        for &n in &ns {
-            let w = space_row(kind, n, n);
-            cells.push(w.to_string());
-            rows.push((kind.label(), n, w));
-        }
+    let kinds = LockKind::table1_rows(B);
+    let cells: Vec<(LockKind, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| ns.iter().map(move |&n| (kind, n)))
+        .collect();
+    let rows = par_grid(jobs, &cells, |&(kind, n)| {
+        (kind.label(), n, space_row(kind, n, n))
+    });
+    for (row, chunk) in rows.chunks(ns.len()).enumerate() {
+        let mut cells = vec![kinds[row].label()];
+        cells.extend(chunk.iter().map(|(_, _, w)| w.to_string()));
         table.row(cells);
     }
     table.print();
@@ -161,11 +195,10 @@ fn space() {
 
 /// E9: Table 1 "Fairness" column — FCFS witness for the one-shot lock,
 /// starvation-freedom witness for the long-lived lock.
-fn fairness() {
+fn fairness(jobs: usize) {
     let n = 16;
-    let seeds = 200u64;
-    let mut fcfs_ok = 0;
-    for seed in 0..seeds {
+    let seeds: Vec<u64> = (0..200).collect();
+    let verdicts = par_grid(jobs, &seeds, |&seed| {
         let built = sal_bench::build_lock(LockKind::OneShot { b: B }, n, n);
         let mut plans = vec![ProcPlan::normal(1); n];
         // A third of the crowd aborts; FCFS must hold among the rest.
@@ -191,21 +224,24 @@ fn fairness() {
             "FCFS violated at seed {seed}: {:?}",
             report.fcfs_check
         );
-        fcfs_ok += 1;
-    }
+        true
+    });
+    let fcfs_ok = verdicts.iter().filter(|&&ok| ok).count();
     println!(
-        "\n== E9 — Table 1 'Fairness' ==\none-shot: FCFS held in {fcfs_ok}/{seeds} random \
-         schedules ({n} processes, 1/3 aborting)."
+        "\n== E9 — Table 1 'Fairness' ==\none-shot: FCFS held in {fcfs_ok}/{} random \
+         schedules ({n} processes, 1/3 aborting).",
+        seeds.len()
     );
 
     // Long-lived: starvation freedom — every process completes all its
     // passages under fair random schedules.
-    let mut completed = 0;
-    for seed in 0..50u64 {
+    let seeds: Vec<u64> = (0..50).collect();
+    let completed = par_grid(jobs, &seeds, |&seed| {
         let p = no_abort_sweep(LockKind::LongLived { b: B }, 8, 4, seed).expect("sim failed");
         assert!(p.mutex_ok);
-        completed += 1;
-    }
+        true
+    })
+    .len();
     println!(
         "long-lived: all 8 processes completed 4 passages in {completed}/50 random \
          schedules (starvation-free, not FCFS — Theorem 23)."
@@ -213,19 +249,26 @@ fn fairness() {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    match arg.as_str() {
-        "worst-case" => worst_case(),
-        "no-abort" => no_abort(),
-        "adaptive" => adaptive(),
-        "space" => space(),
-        "fairness" => fairness(),
+    let (positional, jobs) = match sal_bench::parse_jobs_args(std::env::args().skip(1)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let arg = positional.first().map(String::as_str).unwrap_or("all");
+    match arg {
+        "worst-case" => worst_case(jobs),
+        "no-abort" => no_abort(jobs),
+        "adaptive" => adaptive(jobs),
+        "space" => space(jobs),
+        "fairness" => fairness(jobs),
         "all" => {
-            worst_case();
-            no_abort();
-            adaptive();
-            space();
-            fairness();
+            worst_case(jobs);
+            no_abort(jobs);
+            adaptive(jobs);
+            space(jobs);
+            fairness(jobs);
         }
         other => {
             eprintln!(

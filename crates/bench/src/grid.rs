@@ -1,0 +1,118 @@
+//! Parallel grid evaluation for the experiment drivers.
+//!
+//! Every table and figure in this crate is a grid of *mutually
+//! independent* cells — (lock × N × seed) configurations that each
+//! build their own `CcMemory` and share nothing. [`par_grid`] fans the
+//! cells out over the work-stealing pool in `sal-runtime` and gathers
+//! results **by cell index**, so the driver consumes them in exactly
+//! the order a serial loop would have produced: tables, JSON exports
+//! and absorbed JSONL event logs come out byte-identical whatever the
+//! worker count.
+//!
+//! The module also owns the experiment binaries' shared `--jobs N`
+//! knob ([`parse_jobs_args`]): `--jobs 0` (or the flag absent with no
+//! `SAL_JOBS` override) means available parallelism.
+
+use sal_runtime::pool;
+
+/// Evaluate `eval` over every cell of `cells` on `jobs` workers (`0` =
+/// auto) and return the results in cell order. Cells must be
+/// independent: each one builds its own memory/lock/sinks. With
+/// `jobs == 1` this is exactly the serial loop (same code path, no
+/// threads), which is what makes the parallel output provably
+/// comparable.
+pub fn par_grid<C, T, F>(jobs: usize, cells: &[C], eval: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&C) -> T + Sync,
+{
+    pool::par_map_indexed(jobs, cells.len(), |i| eval(&cells[i]))
+}
+
+/// Extract a `--jobs N` flag from a CLI argument stream. Returns the
+/// remaining (positional) arguments and the *resolved* worker count:
+/// `--jobs 0`, or no flag at all, resolves through `SAL_JOBS` /
+/// available parallelism ([`pool::resolve_jobs`]).
+///
+/// # Errors
+///
+/// When `--jobs` is present without a value or with a non-integer one.
+pub fn parse_jobs_args(
+    args: impl Iterator<Item = String>,
+) -> Result<(Vec<String>, usize), String> {
+    let mut positional = Vec::new();
+    let mut jobs = 0usize;
+    let mut it = args;
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" {
+            let v = it.next().ok_or("flag --jobs needs a value")?;
+            jobs = v.parse().map_err(|e| format!("--jobs: {e}"))?;
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            jobs = v.parse().map_err(|e| format!("--jobs: {e}"))?;
+        } else {
+            positional.push(arg);
+        }
+    }
+    Ok((positional, pool::resolve_jobs(jobs)))
+}
+
+/// Parse a comma-separated list flag value (`--seeds 1,2,3`,
+/// `--workers 1,2,4,8`) into integers.
+///
+/// # Errors
+///
+/// When any element fails to parse, or the list is empty.
+pub fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let out: Vec<T> = value
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| s.trim().parse::<T>().map_err(|e| format!("{flag}: {e}")))
+        .collect::<Result<_, _>>()?;
+    if out.is_empty() {
+        return Err(format!("{flag}: empty list"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_grid_preserves_cell_order() {
+        let cells: Vec<usize> = (0..50).collect();
+        for jobs in [1, 4] {
+            let out = par_grid(jobs, &cells, |&c| c * 3);
+            assert_eq!(out, cells.iter().map(|c| c * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn jobs_flag_is_extracted_anywhere() {
+        let args = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>().into_iter();
+        let (pos, jobs) = parse_jobs_args(args(&["all", "--jobs", "3"])).unwrap();
+        assert_eq!(pos, vec!["all"]);
+        assert_eq!(jobs, 3);
+        let (pos, jobs) = parse_jobs_args(args(&["--jobs=7", "worst-case"])).unwrap();
+        assert_eq!(pos, vec!["worst-case"]);
+        assert_eq!(jobs, 7);
+        let (_, jobs) = parse_jobs_args(args(&["all"])).unwrap();
+        assert!(jobs >= 1, "absent flag resolves to auto");
+        assert!(parse_jobs_args(args(&["--jobs"])).is_err());
+        assert!(parse_jobs_args(args(&["--jobs", "x"])).is_err());
+    }
+
+    #[test]
+    fn lists_parse_or_fail_loudly() {
+        assert_eq!(
+            parse_list::<usize>("--workers", "1, 2,4,8").unwrap(),
+            vec![1, 2, 4, 8]
+        );
+        assert!(parse_list::<usize>("--workers", "1,x").is_err());
+        assert!(parse_list::<usize>("--workers", "").is_err());
+    }
+}

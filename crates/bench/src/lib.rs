@@ -17,10 +17,12 @@
 
 #![warn(missing_docs)]
 
+pub mod grid;
 pub mod registry;
 pub mod report;
 pub mod workloads;
 
+pub use grid::{par_grid, parse_jobs_args};
 pub use registry::{build_lock, LockKind};
 pub use report::{export_events, save_json, RmrSummary, Table};
 pub use workloads::{

@@ -81,6 +81,29 @@ impl LockKind {
         )
     }
 
+    /// Parse a CLI lock name (`one-shot`, `long-lived`, `mcs`, …) at
+    /// branching factor `b` for the tree-based kinds.
+    ///
+    /// # Errors
+    ///
+    /// When the name matches no known lock kind.
+    pub fn parse(name: &str, b: usize) -> Result<LockKind, String> {
+        Ok(match name {
+            "one-shot" => LockKind::OneShot { b },
+            "one-shot-plain" => LockKind::OneShotPlain { b },
+            "one-shot-dsm" => LockKind::OneShotDsm { b },
+            "long-lived" => LockKind::LongLived { b },
+            "long-lived-simple" => LockKind::LongLivedSimple { b },
+            "mcs" => LockKind::Mcs,
+            "ticket" => LockKind::Ticket,
+            "tas" => LockKind::Tas,
+            "tournament" => LockKind::Tournament,
+            "scott" => LockKind::Scott,
+            "lee" => LockKind::Lee,
+            other => return Err(format!("unknown lock {other}")),
+        })
+    }
+
     /// The abortable contenders of Table 1 (rows of the comparison), at
     /// a given branching factor for our algorithms.
     pub fn table1_rows(b: usize) -> Vec<LockKind> {
@@ -186,5 +209,25 @@ mod tests {
         assert!(LockKind::OneShot { b: 2 }.one_shot());
         assert!(!LockKind::LongLived { b: 2 }.one_shot());
         assert_eq!(LockKind::table1_rows(8).len(), 5);
+    }
+
+    #[test]
+    fn parse_covers_every_kind() {
+        for (name, want) in [
+            ("one-shot", LockKind::OneShot { b: 8 }),
+            ("one-shot-plain", LockKind::OneShotPlain { b: 8 }),
+            ("one-shot-dsm", LockKind::OneShotDsm { b: 8 }),
+            ("long-lived", LockKind::LongLived { b: 8 }),
+            ("long-lived-simple", LockKind::LongLivedSimple { b: 8 }),
+            ("mcs", LockKind::Mcs),
+            ("ticket", LockKind::Ticket),
+            ("tas", LockKind::Tas),
+            ("tournament", LockKind::Tournament),
+            ("scott", LockKind::Scott),
+            ("lee", LockKind::Lee),
+        ] {
+            assert_eq!(LockKind::parse(name, 8).unwrap(), want);
+        }
+        assert!(LockKind::parse("bogus", 8).is_err());
     }
 }

@@ -101,11 +101,41 @@ impl EventLog {
         }
     }
 
+    /// A log with no capacity bound: nothing is ever dropped. This is
+    /// the right shape for per-cell logs in parallel sweeps — each grid
+    /// cell records into its own unbounded log, and the driver
+    /// [`absorb`](Self::absorb)s them in deterministic cell order, so
+    /// large sweeps cannot silently overflow a shared ring.
+    pub fn unbounded() -> Self {
+        EventLog {
+            ring: Arc::new(Mutex::new(Ring::default())),
+            capacity: usize::MAX,
+            capture_ops: false,
+        }
+    }
+
     /// Also record every plain shared-memory operation (high volume:
     /// spinning emits one event per scheduling turn).
     pub fn capture_ops(mut self) -> Self {
         self.capture_ops = true;
         self
+    }
+
+    /// Append every event retained by `other` to this log, in `other`'s
+    /// order, assigning fresh sequence numbers from this log's global
+    /// counter; `other`'s dropped count is added to this log's. This is
+    /// the deterministic fan-in for parallel probed sweeps: absorb the
+    /// per-cell logs in cell order and the merged log is identical
+    /// whatever the worker count. `other` is left untouched.
+    pub fn absorb(&self, other: &EventLog) {
+        // Snapshot before touching our own ring so absorbing a clone of
+        // ourselves cannot deadlock.
+        let events = other.events();
+        let dropped = other.dropped();
+        for ev in events {
+            self.push(ev.pid, ev.kind);
+        }
+        self.ring.lock().unwrap().dropped += dropped;
     }
 
     fn push(&self, pid: Pid, kind: ObsEventKind) {
@@ -336,6 +366,44 @@ mod tests {
         let loud = EventLog::new(8).capture_ops();
         loud.op(0, OpKind::Read);
         assert_eq!(loud.events()[0].kind, ObsEventKind::Op(OpKind::Read));
+    }
+
+    #[test]
+    fn unbounded_log_never_drops() {
+        let log = EventLog::unbounded();
+        for p in 0..100_000 {
+            log.enter_begin(p % 7);
+        }
+        assert_eq!(log.len(), 100_000);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn absorb_renumbers_in_order_and_sums_drops() {
+        let merged = EventLog::unbounded();
+        merged.enter_begin(0);
+
+        let cell_a = EventLog::new(2); // tiny ring: will drop
+        cell_a.enter_begin(1);
+        cell_a.enter_end(1, None);
+        cell_a.cs_exit(1);
+        assert_eq!(cell_a.dropped(), 1);
+
+        let cell_b = EventLog::unbounded();
+        cell_b.abort(2, Some(9));
+
+        merged.absorb(&cell_a);
+        merged.absorb(&cell_b);
+
+        let evs = merged.events();
+        assert_eq!(evs.len(), 4);
+        // Fresh global seqs, monotone across the absorbed cells.
+        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(evs[1].kind, ObsEventKind::EnterEnd(None));
+        assert_eq!(evs[3].kind, ObsEventKind::Abort(Some(9)));
+        assert_eq!(merged.dropped(), 1, "cell drops are not silently lost");
+        // The source is untouched.
+        assert_eq!(cell_b.len(), 1);
     }
 
     #[test]

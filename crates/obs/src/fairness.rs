@@ -116,6 +116,45 @@ impl FairnessMonitor {
         settled.max(in_flight)
     }
 
+    /// Fold another monitor into this one — the fan-in for parallel
+    /// sweeps. Per-process counters sum (waits take the max, and
+    /// `other`'s still-in-flight waits settle into `max_wait_ops`, so
+    /// starvation witnesses survive the merge); FCFS witness lists
+    /// concatenate in merge order. Tickets are only comparable within
+    /// one run, so merging never *creates* cross-run violations: the
+    /// merged verdict is "every source run was FCFS". `other` is left
+    /// untouched.
+    pub fn merge_from(&self, other: &FairnessMonitor) {
+        // Snapshot before locking ourselves, so merging a clone of the
+        // same monitor cannot deadlock.
+        let (procs, waiting, max_ticket, violations) = {
+            let o = other.inner.lock().unwrap();
+            (
+                o.procs.clone(),
+                o.waiting.clone(),
+                o.max_entered_ticket,
+                o.violations.clone(),
+            )
+        };
+        let mut inner = self.inner.lock().unwrap();
+        for (p, rec) in procs.iter().enumerate() {
+            let mine = inner.proc_mut(p);
+            mine.attempts += rec.attempts;
+            mine.entered += rec.entered;
+            mine.aborted += rec.aborted;
+            mine.max_wait_ops = mine.max_wait_ops.max(rec.max_wait_ops);
+            if let Some(w) = waiting.get(p).copied().flatten() {
+                mine.max_wait_ops = mine.max_wait_ops.max(w);
+            }
+        }
+        inner.max_entered_ticket = match (inner.max_entered_ticket, max_ticket) {
+            (a, None) => a,
+            (None, b) => b,
+            (Some(a), Some(b)) => Some(a.max(b)),
+        };
+        inner.violations.extend(violations);
+    }
+
     /// Pids whose longest wait (finished or in flight) exceeds
     /// `threshold` steps — the starvation witness list.
     pub fn starvation_witnesses(&self, threshold: u64) -> Vec<Pid> {
@@ -233,6 +272,43 @@ mod tests {
         m.cs_exit(0);
         assert_eq!(m.max_wait_ops(), 4);
         assert_eq!(m.per_process()[0].max_wait_ops, 4);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_concatenates_witnesses() {
+        let cell_a = FairnessMonitor::new();
+        cell_a.enter_begin(0);
+        cell_a.enter_end(0, Some(5));
+        cell_a.cs_exit(0);
+        cell_a.enter_begin(1);
+        cell_a.enter_end(1, Some(3)); // out of order in cell A
+        cell_a.cs_exit(1);
+
+        let cell_b = FairnessMonitor::new();
+        cell_b.enter_begin(0);
+        cell_b.abort(0, Some(0));
+        cell_b.enter_begin(2);
+        for _ in 0..40 {
+            cell_b.op(2, OpKind::Read); // starving, still in flight
+        }
+
+        let merged = FairnessMonitor::new();
+        merged.merge_from(&cell_a);
+        merged.merge_from(&cell_b);
+
+        assert!(!merged.is_fcfs());
+        assert_eq!(merged.fcfs_violations().len(), 1);
+        let procs = merged.per_process();
+        assert_eq!(procs[0].attempts, 2);
+        assert_eq!(procs[0].entered, 1);
+        assert_eq!(procs[0].aborted, 1);
+        // Cell B's in-flight wait settled into the merged max.
+        assert_eq!(merged.max_wait_ops(), 40);
+        assert_eq!(merged.starvation_witnesses(30), vec![2]);
+        // Lower cross-cell ticket (0 < 5) created no bogus violation,
+        // and the sources are untouched.
+        assert!(cell_b.is_fcfs());
+        assert_eq!(cell_a.fcfs_violations().len(), 1);
     }
 
     #[test]

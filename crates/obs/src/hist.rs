@@ -59,6 +59,32 @@ impl Histogram {
         (64 - v.leading_zeros()) as usize
     }
 
+    /// Fold another histogram into this one — the fan-in primitive for
+    /// parallel sweeps, where each grid cell records into a private
+    /// histogram and the driver merges them in deterministic cell
+    /// order. Counts, sums, extrema and buckets combine exactly; raw
+    /// samples are retained up to [`Self::RETAIN`] combined, after
+    /// which quantiles fall back to bucket bounds (same rule as
+    /// single-histogram recording).
+    pub fn merge_from(&mut self, other: &Histogram) {
+        let room = Self::RETAIN.saturating_sub(self.samples.len());
+        self.samples
+            .extend(other.samples.iter().take(room).copied());
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in other.buckets.iter().enumerate() {
+            self.buckets[b] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        // Stored extrema use the empty-histogram sentinels (MAX / 0),
+        // so plain min/max folds are correct even when either side is
+        // empty.
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -196,6 +222,45 @@ mod tests {
         // Now samples.len() != count → bucket path. 6 lives in (4..=7].
         assert_eq!(h.quantile(0.5), 6);
         assert!(h.quantile(0.5) <= 7);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [5u64, 1, 3, 900] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 8, 0, 4] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.buckets(), all.buckets());
+        for q in [0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        a.record(7);
+        let before = (a.count(), a.sum(), a.min(), a.max());
+        a.merge_from(&Histogram::new());
+        assert_eq!((a.count(), a.sum(), a.min(), a.max()), before);
+
+        let mut empty = Histogram::new();
+        empty.merge_from(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.min(), 7);
+        assert_eq!(empty.max(), 7);
     }
 
     #[test]

@@ -157,6 +157,34 @@ impl PassageStats {
         self.inner.lock().unwrap().entered_rmrs.clone()
     }
 
+    /// Fold another sink's *finalized* passages into this one — the
+    /// fan-in for parallel sweeps, where every grid cell measures into
+    /// a private `PassageStats` and the driver merges them in
+    /// deterministic cell order. Records are appended in `other`'s
+    /// completion order with their original `pid` / `attempt` fields
+    /// (attempt indices are per-source-run; cells are separate runs by
+    /// construction), and all histograms combine exactly. Passages
+    /// still in flight in `other` are not merged — merge completed
+    /// runs. `other` is left untouched.
+    pub fn merge_from(&self, other: &PassageStats) {
+        // Snapshot before locking ourselves, so merging a clone of the
+        // same sink cannot deadlock.
+        let (records, entered_rmrs, aborted_rmrs, entered_ops) = {
+            let o = other.inner.lock().unwrap();
+            (
+                o.records.clone(),
+                o.entered_rmrs.clone(),
+                o.aborted_rmrs.clone(),
+                o.entered_ops.clone(),
+            )
+        };
+        let mut inner = self.inner.lock().unwrap();
+        inner.records.extend(records);
+        inner.entered_rmrs.merge_from(&entered_rmrs);
+        inner.aborted_rmrs.merge_from(&aborted_rmrs);
+        inner.entered_ops.merge_from(&entered_ops);
+    }
+
     fn slot(inner: &mut Inner, p: Pid) -> &mut InFlight {
         if inner.inflight.len() <= p {
             inner.inflight.resize(p + 1, InFlight::default());
@@ -303,6 +331,44 @@ mod tests {
         let stats = PassageStats::new();
         passage(&stats, 3, 0, true);
         assert_eq!(stats.records()[0].ticket, Some(3));
+    }
+
+    #[test]
+    fn merge_matches_one_big_run_in_cell_order() {
+        let cell_a = PassageStats::new();
+        passage(&cell_a, 0, 3, true);
+        passage(&cell_a, 1, 9, false);
+        let cell_b = PassageStats::new();
+        passage(&cell_b, 0, 5, true);
+
+        let merged = PassageStats::new();
+        merged.merge_from(&cell_a);
+        merged.merge_from(&cell_b);
+
+        assert_eq!(merged.total_passages(), 3);
+        assert_eq!(merged.total_entered(), 2);
+        assert_eq!(merged.max_entered_rmrs(), 5);
+        assert_eq!(merged.max_aborted_rmrs(), 9);
+        assert!((merged.mean_entered_rmrs() - 4.0).abs() < 1e-9);
+        let s = merged.summary();
+        assert_eq!(s.entered, 2);
+        assert_eq!(s.aborted, 1);
+        assert!((s.amortized_rmrs - (3 + 9 + 5) as f64 / 3.0).abs() < 1e-9);
+        // Records keep per-source order and fields; sources untouched.
+        let recs = merged.records();
+        assert_eq!((recs[0].pid, recs[0].rmrs), (0, 3));
+        assert_eq!((recs[2].pid, recs[2].rmrs), (0, 5));
+        assert_eq!(cell_a.total_passages(), 2);
+    }
+
+    #[test]
+    fn merge_ignores_in_flight_passages() {
+        let cell = PassageStats::new();
+        passage(&cell, 0, 1, true);
+        cell.enter_begin(1); // still in flight
+        let merged = PassageStats::new();
+        merged.merge_from(&cell);
+        assert_eq!(merged.total_passages(), 1);
     }
 
     #[test]

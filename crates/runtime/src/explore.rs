@@ -5,8 +5,8 @@
 //! *systematically*. The baseline schedule is fair round-robin (the
 //! natural fair baseline for spin-based algorithms — a run-to-completion
 //! baseline would livelock a waiter). A **deviation** is any decision
-//! that differs from the round-robin choice. The explorer enumerates,
-//! depth-first, every schedule with at most `max_deviations` deviations,
+//! that differs from the round-robin choice. The explorer enumerates
+//! every schedule with at most `max_deviations` deviations,
 //! re-executing the (deterministic) workload once per schedule and
 //! checking the caller's verdict.
 //!
@@ -14,10 +14,30 @@
 //! thousands of qualitatively distinct interleavings — including the
 //! "aborter sneaks in two steps at exactly the wrong moment" races that
 //! random scheduling takes a long time to hit.
+//!
+//! ## Parallel exploration
+//!
+//! Each schedule is an independent re-execution, so the explorer fans
+//! the search tree out over the [`pool`](crate::pool) in
+//! **breadth-first waves**: the current frontier of forced prefixes is
+//! executed concurrently ([`par_map_indexed`] gathers outcomes by
+//! index), then children are expanded in frontier order. Every
+//! jobs-count-sensitive decision is made deterministic by construction:
+//!
+//! * the run budget truncates the *frontier* (a deterministic list),
+//!   not a racy counter;
+//! * exploration stops at the first **wave** containing a violation,
+//!   and among that wave's failures the one with the lexicographically
+//!   least forced prefix wins — regardless of which worker finished
+//!   first;
+//! * children are generated in (frontier index, decision step, live-set
+//!   order), so the visited set and the execution order of runs are
+//!   identical at `jobs = 1` and `jobs = 8`.
 
+use crate::pool;
 use crate::schedule::{SchedStatus, SchedulePolicy};
 use sal_memory::Pid;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock};
 
 /// Per-step record of a run: the chosen process and the live set at the
 /// decision point.
@@ -30,9 +50,15 @@ struct Decision {
 /// A policy that plays a forced prefix of choices, then continues with
 /// fair round-robin — while recording every decision it makes. Create
 /// one per run via the callback argument of [`explore`].
+///
+/// The recorder is single-owner: decisions accumulate in a plain `Vec`
+/// owned by the policy (the hot replay path takes no lock) and are
+/// published to the explorer through a write-once cell when the policy
+/// is dropped at the end of the run.
 pub struct ForcedSchedule {
     prefix: std::vec::IntoIter<Pid>,
-    record: Arc<Mutex<Vec<Decision>>>,
+    record: Vec<Decision>,
+    out: Arc<OnceLock<Vec<Decision>>>,
     last: Option<Pid>,
 }
 
@@ -43,10 +69,11 @@ impl std::fmt::Debug for ForcedSchedule {
 }
 
 impl ForcedSchedule {
-    fn new(prefix: Vec<Pid>, record: Arc<Mutex<Vec<Decision>>>) -> Self {
+    fn new(prefix: Vec<Pid>, out: Arc<OnceLock<Vec<Decision>>>) -> Self {
         ForcedSchedule {
             prefix: prefix.into_iter(),
-            record,
+            record: Vec::new(),
+            out,
             last: None,
         }
     }
@@ -58,6 +85,14 @@ impl ForcedSchedule {
             None => live[0],
             Some(l) => *live.iter().find(|&&p| p > l).unwrap_or(&live[0]),
         }
+    }
+}
+
+impl Drop for ForcedSchedule {
+    fn drop(&mut self) {
+        // Publish the decision trace exactly once, when the run is over
+        // and the simulator releases the policy.
+        let _ = self.out.set(std::mem::take(&mut self.record));
     }
 }
 
@@ -78,7 +113,7 @@ impl SchedulePolicy for ForcedSchedule {
                 None => break Self::round_robin_default(self.last, &live),
             }
         };
-        self.record.lock().unwrap().push(Decision {
+        self.record.push(Decision {
             chosen: choice,
             live,
         });
@@ -99,6 +134,14 @@ pub struct ExploreOptions {
     /// of a run rarely hide new behaviours once every process is merely
     /// draining).
     pub max_branch_depth: usize,
+    /// Worker threads for the breadth-first waves; `0` means auto
+    /// ([`pool::default_jobs`]). The result is identical for every
+    /// value — see the module docs.
+    pub jobs: usize,
+    /// Record the full chosen-pid schedule of every executed run in
+    /// [`ExplorationResult::visited`]. Off by default (it costs memory
+    /// proportional to runs × schedule length).
+    pub collect_schedules: bool,
 }
 
 impl Default for ExploreOptions {
@@ -107,6 +150,8 @@ impl Default for ExploreOptions {
             max_deviations: 2,
             max_runs: 20_000,
             max_branch_depth: 400,
+            jobs: 0,
+            collect_schedules: false,
         }
     }
 }
@@ -120,6 +165,10 @@ pub struct ExplorationResult {
     pub truncated: bool,
     /// The first violating schedule, with the verdict message.
     pub violation: Option<(Vec<Pid>, String)>,
+    /// The full recorded schedule of every executed run, in execution
+    /// order (deterministic across worker counts). Empty unless
+    /// [`ExploreOptions::collect_schedules`] is set.
+    pub visited: Vec<Vec<Pid>>,
 }
 
 impl ExplorationResult {
@@ -145,13 +194,22 @@ impl ExplorationResult {
     }
 }
 
+/// What one executed schedule produced, gathered back by frontier
+/// index.
+struct RunOutcome {
+    record: Vec<Decision>,
+    verdict: Result<(), String>,
+}
+
 /// Systematically explore the workload's interleavings.
 ///
 /// `run` is called once per schedule with a fresh [`ForcedSchedule`]
 /// policy; it must rebuild the *entire* workload state (memory, locks)
 /// from scratch, drive it with the given policy, and return `Ok(())` or
-/// `Err(description)` if the run violated a property. Exploration stops
-/// at the first violation.
+/// `Err(description)` if the run violated a property. Runs execute
+/// concurrently on [`ExploreOptions::jobs`] workers, so `run` must be
+/// `Sync`; exploration stops at the first wave containing a violation
+/// and reports the lexicographically least failing prefix.
 ///
 /// ```
 /// use sal_runtime::{explore, ExploreOptions, simulate, SimOptions};
@@ -170,62 +228,106 @@ impl ExplorationResult {
 /// result.assert_ok();
 /// assert!(result.runs >= 2);
 /// ```
-pub fn explore<F>(opts: &ExploreOptions, mut run: F) -> ExplorationResult
+pub fn explore<F>(opts: &ExploreOptions, run: F) -> ExplorationResult
 where
-    F: FnMut(ForcedSchedule) -> Result<(), String>,
+    F: Fn(ForcedSchedule) -> Result<(), String> + Sync,
 {
-    let mut stack: Vec<Vec<Pid>> = vec![Vec::new()];
+    let jobs = pool::resolve_jobs(opts.jobs);
+    let mut frontier: Vec<Vec<Pid>> = vec![Vec::new()];
     let mut runs = 0usize;
     let mut truncated = false;
+    let mut visited: Vec<Vec<Pid>> = Vec::new();
 
-    while let Some(prefix) = stack.pop() {
-        if runs >= opts.max_runs {
+    while !frontier.is_empty() {
+        // Deterministic budget enforcement: trim the frontier (a list
+        // whose order is independent of worker count) instead of
+        // checking a counter raced by workers.
+        let remaining = opts.max_runs.saturating_sub(runs);
+        if frontier.len() > remaining {
+            frontier.truncate(remaining);
             truncated = true;
+        }
+        if frontier.is_empty() {
             break;
         }
-        runs += 1;
-        let record = Arc::new(Mutex::new(Vec::new()));
-        let policy = ForcedSchedule::new(prefix.clone(), Arc::clone(&record));
-        if let Err(msg) = run(policy) {
-            let record = record.lock().unwrap();
-            let schedule: Vec<Pid> = record.iter().map(|d| d.chosen).collect();
+
+        let wave: Vec<RunOutcome> = pool::par_map_indexed(jobs, frontier.len(), |i| {
+            let out = Arc::new(OnceLock::new());
+            let policy = ForcedSchedule::new(frontier[i].clone(), Arc::clone(&out));
+            let verdict = run(policy);
+            // The policy published its trace on drop inside `run`; if a
+            // caller leaked it the trace is simply empty (no children,
+            // no witness) rather than wrong.
+            let record = Arc::try_unwrap(out)
+                .map(|cell| cell.into_inner().unwrap_or_default())
+                .unwrap_or_default();
+            RunOutcome { record, verdict }
+        });
+        runs += wave.len();
+        if opts.collect_schedules {
+            visited.extend(
+                wave.iter()
+                    .map(|o| o.record.iter().map(|d| d.chosen).collect::<Vec<Pid>>()),
+            );
+        }
+
+        // First wave with a failure ends the search. Among this wave's
+        // failures the lexicographically least forced prefix wins —
+        // completion order never matters.
+        let failure = wave
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.verdict.is_err())
+            .min_by(|(a, _), (b, _)| frontier[*a].cmp(&frontier[*b]));
+        if let Some((_, outcome)) = failure {
+            let schedule: Vec<Pid> = outcome.record.iter().map(|d| d.chosen).collect();
+            let msg = outcome.verdict.as_ref().unwrap_err().clone();
             return ExplorationResult {
                 runs,
                 truncated,
                 violation: Some((schedule, msg)),
+                visited,
             };
         }
-        let record = record.lock().unwrap();
-        // Count the deviations already present and branch at every later
-        // decision point within budget.
-        let mut deviations = 0usize;
-        let mut last: Option<Pid> = None;
-        for (s, d) in record.iter().enumerate() {
-            let default = ForcedSchedule::round_robin_default(last, &d.live);
-            let is_deviation = d.chosen != default;
-            if is_deviation {
-                deviations += 1;
-            }
-            // Branch points live in this node's suffix only (a child's
-            // prefix ends with its newly forced deviation), which keeps
-            // the search a tree — no schedule is executed twice.
-            if s >= prefix.len() && s < opts.max_branch_depth && deviations < opts.max_deviations {
-                for &q in &d.live {
-                    if q != d.chosen {
-                        let mut child: Vec<Pid> = record.iter().take(s).map(|d| d.chosen).collect();
-                        child.push(q);
-                        stack.push(child);
+
+        // Expand children in (frontier index, step, live order) — fully
+        // deterministic, and a tree: branch points live in each node's
+        // suffix only (a child's prefix ends with its newly forced
+        // deviation), so no schedule is executed twice.
+        let mut next: Vec<Vec<Pid>> = Vec::new();
+        for (idx, outcome) in wave.iter().enumerate() {
+            let prefix_len = frontier[idx].len();
+            let mut deviations = 0usize;
+            let mut last: Option<Pid> = None;
+            for (s, d) in outcome.record.iter().enumerate() {
+                let default = ForcedSchedule::round_robin_default(last, &d.live);
+                if d.chosen != default {
+                    deviations += 1;
+                }
+                if s >= prefix_len
+                    && s < opts.max_branch_depth
+                    && deviations < opts.max_deviations
+                {
+                    for &q in &d.live {
+                        if q != d.chosen {
+                            let mut child: Vec<Pid> =
+                                outcome.record.iter().take(s).map(|d| d.chosen).collect();
+                            child.push(q);
+                            next.push(child);
+                        }
                     }
                 }
+                last = Some(d.chosen);
             }
-            last = Some(d.chosen);
         }
+        frontier = next;
     }
 
     ExplorationResult {
         runs,
         truncated,
         violation: None,
+        visited,
     }
 }
 
@@ -243,6 +345,22 @@ mod tests {
         assert_eq!(ForcedSchedule::round_robin_default(Some(1), &[0, 2, 3]), 2);
     }
 
+    #[test]
+    fn recorder_publishes_on_drop() {
+        let out = Arc::new(OnceLock::new());
+        let mut policy = ForcedSchedule::new(vec![1], Arc::clone(&out));
+        let finished = [false, false];
+        policy.next(&SchedStatus {
+            finished: &finished,
+            step: 0,
+        });
+        assert!(out.get().is_none(), "published before the run ended");
+        drop(policy);
+        let record = out.get().expect("drop must publish");
+        assert_eq!(record.len(), 1);
+        assert_eq!(record[0].chosen, 1);
+    }
+
     /// A racy "lock": non-atomic test-then-set. Round-robin alone does
     /// not break it in this workload, but a single deviation does — the
     /// explorer must find the mutual-exclusion violation.
@@ -253,6 +371,7 @@ mod tests {
                 max_deviations: 1,
                 max_runs: 10_000,
                 max_branch_depth: 100,
+                ..ExploreOptions::default()
             },
             |policy| {
                 let mut b = MemoryBuilder::new();
@@ -300,6 +419,7 @@ mod tests {
                 max_deviations: 2,
                 max_runs: 3_000,
                 max_branch_depth: 60,
+                ..ExploreOptions::default()
             },
             |policy| {
                 let mut b = MemoryBuilder::new();
@@ -336,6 +456,7 @@ mod tests {
                 max_deviations: 3,
                 max_runs: 5,
                 max_branch_depth: 100,
+                ..ExploreOptions::default()
             },
             |policy| {
                 let mut b = MemoryBuilder::new();
@@ -361,7 +482,7 @@ mod tests {
             &ExploreOptions {
                 max_deviations: 0,
                 max_runs: 100,
-                max_branch_depth: 100,
+                ..ExploreOptions::default()
             },
             |policy| {
                 let mut b = MemoryBuilder::new();

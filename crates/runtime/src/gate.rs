@@ -32,6 +32,9 @@ struct GateState {
     step: u64,
     /// When set, all waiting processes unwind.
     shutdown: bool,
+    /// Startup serialization: processes with pid < `released` may run
+    /// (see [`StepGate::wait_start`]).
+    released: usize,
 }
 
 /// The synchronization core of the simulator: see the module docs for
@@ -66,9 +69,65 @@ impl StepGate {
                 finished: vec![false; n],
                 step: 0,
                 shutdown: false,
+                // Callers that never use the startup protocol are not
+                // gated: everything is released from the start.
+                released: usize::MAX,
             }),
             turn_cv: (0..n).map(|_| Condvar::new()).collect(),
             sched_cv: Condvar::new(),
+        }
+    }
+
+    /// Opt in to serialized startup: no process passes
+    /// [`wait_start`](Self::wait_start) until the owner releases it with
+    /// [`release_start`](Self::release_start). Call before spawning the
+    /// process threads.
+    pub fn hold_starts(&self) {
+        self.state.lock().unwrap().released = 0;
+    }
+
+    /// Park process `p` until it is released to start. The simulator
+    /// releases processes **one at a time, in pid order**, each running
+    /// until it parks at its first shared-memory operation — so the
+    /// startup window, the only phase where several process threads
+    /// would otherwise run local code (and push probe events)
+    /// concurrently, is serialized deterministically. No-op unless
+    /// [`hold_starts`](Self::hold_starts) was called.
+    ///
+    /// # Panics
+    ///
+    /// Unwinds with the private shutdown payload if the simulation is
+    /// shut down first.
+    pub fn wait_start(&self, p: Pid) {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.shutdown {
+                drop(s);
+                panic::panic_any(Shutdown);
+            }
+            if s.released > p {
+                return;
+            }
+            s = self.turn_cv[p].wait(s).unwrap();
+        }
+    }
+
+    /// Release process `p` (and every lower pid) to start.
+    pub fn release_start(&self, p: Pid) {
+        let mut s = self.state.lock().unwrap();
+        s.released = s.released.max(p + 1);
+        self.turn_cv[p].notify_all();
+    }
+
+    /// Block until process `p` is settled: parked at the gate, or
+    /// finished. Returns immediately on shutdown.
+    pub fn await_settled(&self, p: Pid) {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.shutdown || s.arrived[p] || s.finished[p] {
+                return;
+            }
+            s = self.sched_cv.wait(s).unwrap();
         }
     }
 

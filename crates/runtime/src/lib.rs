@@ -22,6 +22,10 @@
 //!   sinks as well.
 //! * [`SmallRng`] — the workspace's own seeded PRNG (the build
 //!   environment is offline, so randomness is home-grown).
+//! * [`pool`] — a dependency-free work-stealing job pool
+//!   ([`par_map_indexed`], [`run_jobs`]) that fans independent
+//!   simulations out over worker threads and gathers results by index,
+//!   so parallel experiment output is byte-identical to serial.
 //!
 //! ## Example: 4 processes race for the one-shot lock
 //!
@@ -49,6 +53,7 @@ mod events;
 mod explore;
 mod gate;
 mod harness;
+pub mod pool;
 mod replay;
 mod rng;
 mod schedule;
@@ -58,9 +63,10 @@ pub use events::{Event, EventKind, EventLog, FcfsViolation, MutexViolation};
 pub use explore::{explore, ExplorationResult, ExploreOptions, ForcedSchedule};
 pub use gate::{stepped, StepGate, StepLayer, SteppedMem};
 pub use harness::{
-    run_lock, run_lock_probed, run_one_shot, run_one_shot_probed, ProcPlan, Role, WorkloadReport,
-    WorkloadSpec,
+    par_runs, run_lock, run_lock_probed, run_one_shot, run_one_shot_probed, ProcPlan, Role,
+    WorkloadReport, WorkloadSpec,
 };
+pub use pool::{default_jobs, par_map_indexed, resolve_jobs, run_jobs, Worker};
 pub use replay::{ParseRecordingError, Recorder, Recording, RecordingHandle, Replay};
 pub use rng::SmallRng;
 pub use schedule::{

@@ -156,6 +156,7 @@ where
     F: Fn(&ProcCtx<'_, M>) + Sync,
 {
     let gate = StepGate::new(nprocs);
+    gate.hold_starts();
     let log = EventLog::new();
     let flags: Vec<AbortFlag> = (0..nprocs).map(|_| AbortFlag::new()).collect();
     let panics: Mutex<Vec<(Pid, String)>> = Mutex::new(Vec::new());
@@ -181,7 +182,10 @@ where
                     log,
                     gate,
                 };
-                let result = catch_unwind(AssertUnwindSafe(|| body(&ctx)));
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    gate.wait_start(pid);
+                    body(&ctx)
+                }));
                 if let Err(payload) = result {
                     if !payload.is::<Shutdown>() {
                         let message = payload
@@ -195,6 +199,19 @@ where
                 }
                 gate.mark_finished(pid);
             });
+        }
+
+        // Serialized startup: release processes one at a time, in pid
+        // order, each running until it parks at its first shared-memory
+        // operation (or finishes). Startup is the only phase where
+        // several process threads would otherwise run local code
+        // concurrently — and that local code pushes probe events (e.g.
+        // a lock's `enter_begin`) into shared logs, whose order must
+        // not depend on thread timing. Consumes no steps and no policy
+        // decisions.
+        for p in 0..nprocs {
+            gate.release_start(p);
+            gate.await_settled(p);
         }
 
         // The scheduler runs on this thread.

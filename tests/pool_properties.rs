@@ -1,0 +1,110 @@
+//! Properties of the work-stealing pool itself (ISSUE PR-3 satellite):
+//! stealing under skewed job sizes, panic hygiene, dynamic spawning and
+//! nested fan-out. Everything here must hold at any worker count,
+//! including on a single-CPU box where workers time-slice.
+
+use sal_runtime::pool::{par_map_indexed, resolve_jobs, run_jobs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Heavily skewed job sizes: one job is ~1000x the others. The gather
+/// must still come back in index order with every cell present.
+#[test]
+fn skewed_job_sizes_gather_in_order() {
+    let work = |i: usize| -> u64 {
+        // Cell 0 is the giant; the rest are tiny.
+        let iters = if i == 0 { 200_000 } else { 200 };
+        let mut acc = i as u64;
+        for k in 0..iters {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+        }
+        acc
+    };
+    let serial: Vec<u64> = (0..64).map(work).collect();
+    for jobs in [1, 2, 4, 8] {
+        let par = par_map_indexed(jobs, 64, work);
+        assert_eq!(par, serial, "jobs={jobs}");
+    }
+}
+
+/// A panicking job propagates to the caller *after* the pool has
+/// drained — sibling jobs still ran — and the pool machinery is
+/// reusable afterwards (no poisoned/wedged state).
+#[test]
+fn panic_propagates_without_wedging_the_pool() {
+    static RAN: AtomicUsize = AtomicUsize::new(0);
+    RAN.store(0, Ordering::SeqCst);
+    let result = std::panic::catch_unwind(|| {
+        run_jobs(4, (0..32).collect::<Vec<usize>>(), |i, _w| {
+            RAN.fetch_add(1, Ordering::SeqCst);
+            assert!(i != 7, "job 7 detonates");
+        });
+    });
+    assert!(result.is_err(), "the job panic must reach the caller");
+    // All 32 jobs were taken off the queues despite the panic.
+    assert_eq!(RAN.load(Ordering::SeqCst), 32);
+    // And a fresh run on the same API works fine.
+    let again = par_map_indexed(4, 16, |i| i * 2);
+    assert_eq!(again, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+}
+
+/// Jobs may spawn further jobs mid-run (the exploration engine's wave
+/// expansion does); everything spawned before the last job finishes is
+/// still executed.
+#[test]
+fn dynamically_spawned_jobs_all_run() {
+    let hits = Mutex::new(Vec::new());
+    run_jobs(4, vec![0usize], |depth, w| {
+        hits.lock().unwrap().push(depth);
+        if depth < 5 {
+            // Fan out two children per level: 2^6 - 1 = 63 jobs total.
+            w.spawn(depth + 1);
+            w.spawn(depth + 1);
+        }
+    });
+    let mut got = hits.into_inner().unwrap();
+    got.sort_unstable();
+    let mut want = Vec::new();
+    for depth in 0..=5usize {
+        want.extend(std::iter::repeat_n(depth, 1 << depth));
+    }
+    assert_eq!(got, want);
+}
+
+/// Nested parallel maps (a pool inside a pool job) complete rather
+/// than deadlocking — each nested call runs on its own scoped workers.
+#[test]
+fn nested_par_map_completes() {
+    let outer = par_map_indexed(2, 4, |i| {
+        let inner = par_map_indexed(2, 3, move |j| i * 10 + j);
+        inner.iter().sum::<usize>()
+    });
+    assert_eq!(outer, vec![3, 33, 63, 93]);
+}
+
+/// Worker indices handed to jobs are always within `0..jobs`.
+#[test]
+fn worker_indices_are_bounded() {
+    let seen = Mutex::new(Vec::new());
+    run_jobs(3, (0..40).collect::<Vec<usize>>(), |_i, w| {
+        seen.lock().unwrap().push(w.index());
+    });
+    let seen = seen.into_inner().unwrap();
+    assert_eq!(seen.len(), 40);
+    assert!(seen.iter().all(|&ix| ix < 3));
+}
+
+/// `resolve_jobs(0)` is auto (>= 1); positive counts are taken as-is.
+#[test]
+fn zero_jobs_resolves_to_auto() {
+    assert!(resolve_jobs(0) >= 1);
+    assert_eq!(resolve_jobs(5), 5);
+}
+
+/// Empty input returns an empty gather without touching any threads.
+#[test]
+fn empty_input_is_a_no_op() {
+    let out: Vec<usize> = par_map_indexed(8, 0, |i| i);
+    assert!(out.is_empty());
+    run_jobs(8, Vec::<usize>::new(), |_i, _w| unreachable!());
+}

@@ -81,6 +81,7 @@ fn one_shot_three_processes_no_aborts() {
             max_deviations: 2,
             max_runs: 4_000,
             max_branch_depth: 60,
+            ..ExploreOptions::default()
         },
         |policy| one_shot_run(policy, 3, 2, &delays),
     );
@@ -98,6 +99,7 @@ fn one_shot_with_an_impatient_aborter() {
             max_deviations: 2,
             max_runs: 4_000,
             max_branch_depth: 60,
+            ..ExploreOptions::default()
         },
         |policy| one_shot_run(policy, 3, 2, &delays),
     );
@@ -113,6 +115,7 @@ fn one_shot_two_aborters_crossing_paths() {
             max_deviations: 1,
             max_runs: 4_000,
             max_branch_depth: 80,
+            ..ExploreOptions::default()
         },
         |policy| one_shot_run(policy, 4, 2, &delays),
     );
@@ -127,6 +130,7 @@ fn long_lived_two_processes_two_passages() {
             max_deviations: 1,
             max_runs: 3_000,
             max_branch_depth: 120,
+            ..ExploreOptions::default()
         },
         |policy| {
             let n = 2;
