@@ -14,5 +14,13 @@ cargo test --release -q
 # to the serial reference before reporting any timing).
 SAL_JOBS=2 cargo test --release -q -p sal-bench --test parallel_determinism
 cargo run --release -q -p sal-bench --bin expscale -- --smoke
+# Step-lease scheduler: every artifact must be byte-identical at every
+# lease cap. The suite sweeps caps internally; the SAL_LEASE runs also
+# pin the *ambient* default (harness literals, sweep defaults) to the
+# legacy per-step path and to a capped path. The simscale smoke asserts
+# leased output matches the per-step reference before timing anything.
+SAL_LEASE=1 cargo test --release -q -p sal-bench --test lease_determinism
+SAL_LEASE=64 cargo test --release -q -p sal-bench --test lease_determinism
+cargo run --release -q -p sal-bench --bin simscale -- --smoke
 cargo clippy -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

@@ -176,6 +176,7 @@ mod tests {
                 ],
                 cs_ops: 2,
                 max_steps: 2_000_000,
+                lease: sal_runtime::default_lease(),
             };
             let report = run_lock(
                 &lock,

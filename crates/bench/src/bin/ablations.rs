@@ -38,11 +38,7 @@ fn sidestep(jobs: usize) {
         (n, plain.max_entered_rmrs, adaptive.max_entered_rmrs)
     });
     for &(n, plain, adaptive) in &points {
-        table.row(vec![
-            n.to_string(),
-            plain.to_string(),
-            adaptive.to_string(),
-        ]);
+        table.row(vec![n.to_string(), plain.to_string(), adaptive.to_string()]);
     }
     table.print();
     println!(
@@ -283,7 +279,11 @@ fn faa(jobs: usize) {
             }
         }
         let k = ks[row];
-        table.row(vec![k.to_string(), faa_total.to_string(), cas_total.to_string()]);
+        table.row(vec![
+            k.to_string(),
+            faa_total.to_string(),
+            cas_total.to_string(),
+        ]);
         points.push((k, faa_total, cas_total));
     }
     table.print();

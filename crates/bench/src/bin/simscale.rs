@@ -1,0 +1,319 @@
+//! simscale — step-lease scheduling speedup sweep.
+//!
+//! Runs a grid of contended cells (lock kind × N × schedule policy,
+//! each cell a full multi-passage simulation) once per step-lease cap
+//! and reports simulator throughput: shared-memory steps/sec and
+//! entered passages/sec. Before timing anything it proves the point of
+//! the lease protocol: the *entire* output of a leased run — step
+//! count, per-process outcomes, per-passage RMR records, the
+//! step-stamped event log and the safety verdicts — is byte-identical
+//! to the legacy per-step path (`--lease 1`) at every cap.
+//!
+//! ```text
+//! cargo run --release -p sal-bench --bin simscale -- \
+//!     [--ns 2,8] [--leases 1,4,64,0] [--passages 64] [--reps 2] [--smoke]
+//! ```
+//!
+//! Lease caps: `0` = unbounded, `1` = legacy per-step handoffs (spin
+//! gate off — the exact pre-lease scheduler), `k` = capped at `k`
+//! steps per grant. The headline cell is the contended 8-process
+//! bursty run, where the policy's runs are long enough for leases to
+//! collapse most condvar round-trips.
+//!
+//! `--smoke` shrinks the grid to a seconds-long CI-sized check.
+//! Prints a table and saves `target/experiments/simscale.json`.
+
+use sal_bench::{build_lock, grid::parse_list, save_json, LockKind, Table};
+use sal_obs::{Json, ToJson};
+use sal_runtime::{
+    run_lock, BurstySchedule, ProcPlan, RoundRobin, SchedulePolicy, WorkloadReport, WorkloadSpec,
+};
+use std::time::Instant;
+
+const B: usize = 16;
+const SEED: u64 = 11;
+
+#[derive(Debug)]
+struct Args {
+    ns: Vec<usize>,
+    leases: Vec<u64>,
+    passages: usize,
+    reps: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            ns: vec![2, 8],
+            leases: vec![1, 4, 64, 0],
+            passages: 64,
+            reps: 2,
+        }
+    }
+}
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--ns" => args.ns = parse_list("--ns", &value()?)?,
+            "--leases" => args.leases = parse_list("--leases", &value()?)?,
+            "--passages" => {
+                args.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?
+            }
+            "--reps" => args.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?,
+            "--smoke" => {
+                args.ns = vec![4];
+                args.leases = vec![1, 4, 0];
+                args.passages = 8;
+                args.reps = 1;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: simscale [--ns 2,8] [--leases 1,4,64,0] \
+                     [--passages P] [--reps R] [--smoke]\n\
+                     lease caps: 0 = unbounded, 1 = legacy per-step, k = capped"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.ns.is_empty() || args.leases.is_empty() || args.reps == 0 || args.passages == 0 {
+        return Err("need at least one N, lease cap, rep and passage".into());
+    }
+    if args.ns.iter().any(|&n| n < 2) {
+        return Err("--ns entries must be >= 2".into());
+    }
+    if !args.leases.contains(&1) {
+        return Err("--leases must include 1 (the per-step reference)".into());
+    }
+    Ok(args)
+}
+
+/// Which schedule policy drives a cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pol {
+    /// Fair round-robin: runs of length 1 except at the drain tail, so
+    /// leases barely engage — the honest "no free lunch" baseline.
+    RoundRobin,
+    /// Bursty (continue probability 0.9, expected run ≈ 10): the
+    /// contended-schedule shape where leases collapse handoffs.
+    Bursty,
+}
+
+impl Pol {
+    fn label(self) -> &'static str {
+        match self {
+            Pol::RoundRobin => "round-robin",
+            Pol::Bursty => "bursty",
+        }
+    }
+
+    fn build(self) -> Box<dyn SchedulePolicy> {
+        match self {
+            Pol::RoundRobin => Box::new(RoundRobin::new()),
+            Pol::Bursty => Box::new(BurstySchedule::seeded(SEED, 0.9)),
+        }
+    }
+}
+
+/// One grid cell: a lock at one `(N, policy)` configuration.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    kind: LockKind,
+    n: usize,
+    pol: Pol,
+}
+
+impl Cell {
+    fn label(&self) -> String {
+        format!("{} N={} {}", self.kind.label(), self.n, self.pol.label())
+    }
+}
+
+/// Render everything a run produced into one string. Equal fingerprints
+/// ⇒ schedules, RMR accounting, event logs and verdicts all match.
+fn fingerprint(report: &WorkloadReport) -> String {
+    format!(
+        "steps={}\noutcomes={:?}\npassages={:?}\nevents={:?}\nmutex={:?}\nfcfs={:?}",
+        report.steps,
+        report.outcomes,
+        report.passages,
+        report.events,
+        report.mutex_check,
+        report.fcfs_check,
+    )
+}
+
+/// Execute one cell at one lease cap; returns the output fingerprint,
+/// the run's step count, entered passages, and wall-clock seconds of
+/// the simulation itself (setup excluded).
+fn run_cell(cell: &Cell, passages: usize, lease: u64) -> (String, u64, usize, f64) {
+    let plans = vec![ProcPlan::normal(passages); cell.n];
+    let attempts: usize = plans.iter().map(|p| p.passages).sum();
+    let built = build_lock(cell.kind, cell.n, attempts);
+    let spec = WorkloadSpec {
+        plans,
+        cs_ops: 2,
+        max_steps: 200_000_000,
+        lease,
+    };
+    let t = Instant::now();
+    let report = run_lock(
+        &*built.lock,
+        &built.mem,
+        built.cs_word,
+        &spec,
+        cell.pol.build(),
+    )
+    .expect("simulation failed");
+    let secs = t.elapsed().as_secs_f64();
+    assert!(
+        report.mutex_check.is_ok(),
+        "{} violated mutual exclusion",
+        cell.label()
+    );
+    let entered = report.outcomes.iter().map(|&(e, _)| e).sum();
+    (fingerprint(&report), report.steps, entered, secs)
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simscale: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let kinds = [LockKind::LongLived { b: B }, LockKind::Tournament];
+    let mut cells: Vec<Cell> = Vec::new();
+    for &kind in &kinds {
+        for &n in &args.ns {
+            for pol in [Pol::RoundRobin, Pol::Bursty] {
+                cells.push(Cell { kind, n, pol });
+            }
+        }
+    }
+    println!(
+        "simscale: {} cells ({} kinds x {} ns x 2 policies), passages={}, reps={}, leases={:?}",
+        cells.len(),
+        kinds.len(),
+        args.ns.len(),
+        args.passages,
+        args.reps,
+        args.leases
+    );
+
+    let mut table = Table::new(
+        "simscale — step-lease throughput (same cell, bigger grants)",
+        &[
+            "cell",
+            "lease",
+            "steps/sec",
+            "passages/sec",
+            "speedup",
+            "output",
+        ],
+    );
+    let mut rows = Vec::new();
+    // The acceptance headline: the contended 8-process bursty cell's
+    // best speedup over the legacy per-step scheduler.
+    let mut headline: Option<(String, f64)> = None;
+
+    for cell in &cells {
+        // Per-step reference pass: both the timing baseline and the
+        // fingerprint every leased pass must reproduce exactly.
+        let (reference, _, _, ref_secs) = run_cell(cell, args.passages, 1);
+        let mut per_step_best = ref_secs;
+
+        for &lease in &args.leases {
+            let mut best = f64::MAX;
+            let mut steps = 0u64;
+            let mut entered = 0usize;
+            let mut identical = true;
+            for _ in 0..args.reps {
+                let (fp, s, e, dt) = run_cell(cell, args.passages, lease);
+                best = best.min(dt);
+                steps = s;
+                entered = e;
+                identical &= fp == reference;
+                if lease == 1 {
+                    per_step_best = per_step_best.min(dt);
+                }
+            }
+            assert!(
+                identical,
+                "{} at lease cap {lease} diverged from the per-step reference",
+                cell.label()
+            );
+            let baseline = if per_step_best > 0.0 {
+                per_step_best
+            } else {
+                best
+            };
+            let speedup = baseline / best;
+            let steps_per_sec = steps as f64 / best;
+            let passages_per_sec = entered as f64 / best;
+            table.row(vec![
+                cell.label(),
+                lease.to_string(),
+                format!("{steps_per_sec:.0}"),
+                format!("{passages_per_sec:.0}"),
+                format!("{speedup:.2}x"),
+                "byte-identical".into(),
+            ]);
+            rows.push(Json::obj(vec![
+                ("cell", cell.label().to_json()),
+                ("lock", cell.kind.label().to_json()),
+                ("n", Json::Int(cell.n as i64)),
+                ("policy", cell.pol.label().to_json()),
+                ("lease", Json::Int(lease as i64)),
+                ("steps", steps.to_json()),
+                ("entered", Json::Int(entered as i64)),
+                ("seconds", Json::Float(best)),
+                ("steps_per_sec", Json::Float(steps_per_sec)),
+                ("passages_per_sec", Json::Float(passages_per_sec)),
+                ("speedup", Json::Float(speedup)),
+                ("byte_identical", Json::Bool(identical)),
+            ]));
+            if cell.n == 8 && cell.pol == Pol::Bursty && lease != 1 {
+                match &mut headline {
+                    Some((_, s)) if *s >= speedup => {}
+                    _ => headline = Some((format!("{} lease={lease}", cell.label()), speedup)),
+                }
+            }
+        }
+    }
+    table.print();
+    if let Some((label, speedup)) = &headline {
+        println!("headline: contended 8-process cell [{label}] — {speedup:.2}x steps/sec vs legacy per-step");
+    }
+
+    let out = Json::obj(vec![
+        ("experiment", Json::Str("simscale".into())),
+        ("cells", Json::Int(cells.len() as i64)),
+        ("passages", Json::Int(args.passages as i64)),
+        ("reps", Json::Int(args.reps as i64)),
+        (
+            "grid",
+            Json::Str(format!(
+                "[long-lived(B={B}), tournament] x ns={:?} x [round-robin, bursty(0.9)], \
+                 leases={:?}",
+                args.ns, args.leases
+            )),
+        ),
+        (
+            "headline_speedup",
+            headline.map_or(Json::Null, |(_, s)| Json::Float(s)),
+        ),
+        ("rows", Json::Arr(rows)),
+    ]);
+    save_json("simscale", &out);
+}

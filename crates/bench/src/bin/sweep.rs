@@ -35,6 +35,7 @@ struct Args {
     policy: String,
     cs_ops: usize,
     jobs: usize,
+    lease: u64,
 }
 
 impl Default for Args {
@@ -51,6 +52,7 @@ impl Default for Args {
             policy: "random".into(),
             cs_ops: 2,
             jobs: 0,
+            lease: sal_runtime::default_lease(),
         }
     }
 }
@@ -83,6 +85,7 @@ fn parse() -> Result<Args, String> {
             "--policy" => args.policy = value()?,
             "--cs-ops" => args.cs_ops = value()?.parse().map_err(|e| format!("--cs-ops: {e}"))?,
             "--jobs" => args.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--lease" => args.lease = value()?.parse().map_err(|e| format!("--lease: {e}"))?,
             "--help" | "-h" => {
                 // `println!` panics on EPIPE (e.g. `sweep --help | head`);
                 // help output should just stop quietly.
@@ -110,7 +113,9 @@ flags:
   --seeds <a,b,c>      run once per seed in parallel; one row per seed + aggregate
   --policy <p>         random | round-robin | bursty (default random)
   --cs-ops <k>         shared ops inside the CS (default 2)
-  --jobs <k>           worker threads for --seeds fan-out (0 = auto; SAL_JOBS honoured)";
+  --jobs <k>           worker threads for --seeds fan-out (0 = auto; SAL_JOBS honoured)
+  --lease <k>          step-lease cap: 0 = unbounded, 1 = legacy per-step, k = capped
+                       (default from SAL_LEASE, else 0; same results at any value)";
 
 fn policy(args: &Args, seed: u64) -> Result<Box<dyn SchedulePolicy>, String> {
     Ok(match args.policy.as_str() {
@@ -147,6 +152,7 @@ fn run_seed(kind: LockKind, args: &Args, seed: u64) -> Result<SeedPoint, String>
         plans,
         cs_ops: args.cs_ops,
         max_steps: 200_000_000,
+        lease: args.lease,
     };
     let pol = policy(args, seed)?;
     let report = if kind.one_shot() {
@@ -208,7 +214,11 @@ fn multi_seed(kind: LockKind, args: &Args) {
             p.max_entered_rmrs.to_string(),
             format!("{:.2}", p.mean_entered_rmrs),
             p.max_aborted_rmrs.to_string(),
-            if p.mutex_ok { "held".into() } else { "VIOLATED".into() },
+            if p.mutex_ok {
+                "held".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
         maxima.push(p.max_entered_rmrs);
     }
@@ -261,6 +271,7 @@ fn main() {
         plans,
         cs_ops: args.cs_ops,
         max_steps: 200_000_000,
+        lease: args.lease,
     };
     let pol = match policy(&args, args.seed) {
         Ok(p) => p,

@@ -100,6 +100,7 @@ fn no_abort(jobs: usize) {
         plans: vec![ProcPlan::normal(1); 256],
         cs_ops: 2,
         max_steps: 60_000_000,
+        lease: sal_runtime::default_lease(),
     };
     let report = sal_runtime::run_lock(
         &*built.lock,
@@ -209,6 +210,7 @@ fn fairness(jobs: usize) {
             plans,
             cs_ops: 2,
             max_steps: 10_000_000,
+            lease: sal_runtime::default_lease(),
         };
         let report = run_one_shot(
             &*built.lock,

@@ -38,9 +38,7 @@ where
 /// # Errors
 ///
 /// When `--jobs` is present without a value or with a non-integer one.
-pub fn parse_jobs_args(
-    args: impl Iterator<Item = String>,
-) -> Result<(Vec<String>, usize), String> {
+pub fn parse_jobs_args(args: impl Iterator<Item = String>) -> Result<(Vec<String>, usize), String> {
     let mut positional = Vec::new();
     let mut jobs = 0usize;
     let mut it = args;
@@ -93,7 +91,12 @@ mod tests {
 
     #[test]
     fn jobs_flag_is_extracted_anywhere() {
-        let args = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect::<Vec<_>>().into_iter();
+        let args = |v: &[&str]| {
+            v.iter()
+                .map(|s| (*s).to_string())
+                .collect::<Vec<_>>()
+                .into_iter()
+        };
         let (pos, jobs) = parse_jobs_args(args(&["all", "--jobs", "3"])).unwrap();
         assert_eq!(pos, vec!["all"]);
         assert_eq!(jobs, 3);

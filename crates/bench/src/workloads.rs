@@ -67,6 +67,7 @@ fn run_point(
         plans,
         cs_ops: 2,
         max_steps: 60_000_000,
+        lease: sal_runtime::default_lease(),
     };
     let aborters = spec
         .plans

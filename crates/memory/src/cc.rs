@@ -126,10 +126,12 @@ impl WordCell {
         let mut m = self.meta.load(Ordering::Relaxed);
         loop {
             if m & 1 == 0 {
-                match self
-                    .meta
-                    .compare_exchange_weak(m, m | 1, Ordering::Acquire, Ordering::Relaxed)
-                {
+                match self.meta.compare_exchange_weak(
+                    m,
+                    m | 1,
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                ) {
                     Ok(_) => return m >> 1,
                     Err(cur) => m = cur,
                 }
@@ -332,13 +334,7 @@ impl Mem for CcMemory {
     }
 
     fn cas(&self, p: Pid, w: WordId, old: u64, new: u64) -> bool {
-        self.write_type(p, w, |cur| {
-            if cur == old {
-                (new, 1)
-            } else {
-                (cur, 0)
-            }
-        }) == 1
+        self.write_type(p, w, |cur| if cur == old { (new, 1) } else { (cur, 0) }) == 1
     }
 
     fn faa(&self, p: Pid, w: WordId, add: u64) -> u64 {

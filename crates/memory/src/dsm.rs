@@ -60,7 +60,10 @@ impl DsmMemory {
             "a word's home process must be < nprocs"
         );
         DsmMemory {
-            values: inits.into_iter().map(|v| PaddedWord(AtomicU64::new(v))).collect(),
+            values: inits
+                .into_iter()
+                .map(|v| PaddedWord(AtomicU64::new(v)))
+                .collect(),
             homes,
             procs: (0..nprocs)
                 .map(|_| PerProc {

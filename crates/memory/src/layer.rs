@@ -279,9 +279,15 @@ mod tests {
         let mut b = MemoryBuilder::new();
         let w = b.alloc(0);
         let mem = b.build_cc(1);
-        let l = Layered::over(&mem, (Tag("outer", order.clone()), Tag("inner", order.clone())));
+        let l = Layered::over(
+            &mem,
+            (Tag("outer", order.clone()), Tag("inner", order.clone())),
+        );
         l.read(0, w);
-        assert_eq!(*order.lock().unwrap(), vec!["outer", "inner", "inner", "outer"]);
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["outer", "inner", "inner", "outer"]
+        );
     }
 
     #[test]

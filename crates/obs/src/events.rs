@@ -277,10 +277,7 @@ impl EventLog {
                         .and_then(Json::as_str)
                         .ok_or_else(|| format!("line {}: missing label", lineno + 1))?;
                     let value = v.get("value").and_then(Json::as_u64).unwrap_or(0);
-                    ObsEventKind::Note(
-                        Box::leak(label.to_string().into_boxed_str()),
-                        value,
-                    )
+                    ObsEventKind::Note(Box::leak(label.to_string().into_boxed_str()), value)
                 }
                 other => return Err(format!("line {}: unknown event '{other}'", lineno + 1)),
             };
@@ -398,7 +395,10 @@ mod tests {
         let evs = merged.events();
         assert_eq!(evs.len(), 4);
         // Fresh global seqs, monotone across the absorbed cells.
-        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            evs.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
         assert_eq!(evs[1].kind, ObsEventKind::EnterEnd(None));
         assert_eq!(evs[3].kind, ObsEventKind::Abort(Some(9)));
         assert_eq!(merged.dropped(), 1, "cell drops are not silently lost");

@@ -111,7 +111,12 @@ impl FairnessMonitor {
     /// reaches `enter_end`, so unfinished waits must count).
     pub fn max_wait_ops(&self) -> u64 {
         let inner = self.inner.lock().unwrap();
-        let settled = inner.procs.iter().map(|r| r.max_wait_ops).max().unwrap_or(0);
+        let settled = inner
+            .procs
+            .iter()
+            .map(|r| r.max_wait_ops)
+            .max()
+            .unwrap_or(0);
         let in_flight = inner.waiting.iter().flatten().max().copied().unwrap_or(0);
         settled.max(in_flight)
     }

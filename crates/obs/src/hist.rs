@@ -206,7 +206,10 @@ mod tests {
         }
         let buckets = h.buckets();
         // 0 → bound 0; 1 → 1; 2,3 → 3; 4..7 → 7; 8 → 15; 1000 → 1023.
-        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (7, 2), (15, 1), (1023, 1)]);
+        assert_eq!(
+            buckets,
+            vec![(0, 1), (1, 1), (3, 2), (7, 2), (15, 1), (1023, 1)]
+        );
     }
 
     #[test]

@@ -175,10 +175,7 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at byte {}",
-                b as char, self.pos
-            ))
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
         }
     }
 
@@ -191,7 +188,11 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-') | Some(b'0'..=b'9') => self.number(),
-            other => Err(format!("unexpected {:?} at byte {}", other.map(|b| b as char), self.pos)),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
         }
     }
 
@@ -495,7 +496,13 @@ mod tests {
         assert_eq!(5u64.to_json(), Json::Int(5));
         assert_eq!(Some(2u32).to_json(), Json::Int(2));
         assert_eq!(Option::<u32>::None.to_json(), Json::Null);
-        assert_eq!(vec![1u8, 2].to_json(), Json::Arr(vec![Json::Int(1), Json::Int(2)]));
-        assert_eq!((1u8, "a").to_json(), Json::Arr(vec![Json::Int(1), Json::Str("a".into())]));
+        assert_eq!(
+            vec![1u8, 2].to_json(),
+            Json::Arr(vec![Json::Int(1), Json::Int(2)])
+        );
+        assert_eq!(
+            (1u8, "a").to_json(),
+            Json::Arr(vec![Json::Int(1), Json::Str("a".into())])
+        );
     }
 }

@@ -60,6 +60,10 @@ pub struct ForcedSchedule {
     record: Vec<Decision>,
     out: Arc<OnceLock<Vec<Decision>>>,
     last: Option<Pid>,
+    /// Live set at the last `next()` call; `commit_run` records leased
+    /// decisions against it (the live set cannot change mid-lease —
+    /// only the leaseholder runs, and finishing ends the lease).
+    last_live: Vec<Pid>,
 }
 
 impl std::fmt::Debug for ForcedSchedule {
@@ -75,6 +79,7 @@ impl ForcedSchedule {
             record: Vec::new(),
             out,
             last: None,
+            last_live: Vec::new(),
         }
     }
 
@@ -113,12 +118,64 @@ impl SchedulePolicy for ForcedSchedule {
                 None => break Self::round_robin_default(self.last, &live),
             }
         };
+        self.last_live.clear();
+        self.last_live.extend_from_slice(&live);
         self.record.push(Decision {
             chosen: choice,
             live,
         });
         self.last = Some(choice);
         choice
+    }
+
+    fn peek_run(&self, status: &SchedStatus<'_>, chosen: Pid) -> u64 {
+        // Mirror next()'s consumption exactly: forced entries naming
+        // non-live pids are skipped, entries naming `chosen` extend the
+        // run, any other live entry ends it.
+        let live: Vec<Pid> = (0..status.finished.len())
+            .filter(|&p| !status.finished[p])
+            .collect();
+        let mut run = 0u64;
+        for &p in self.prefix.as_slice() {
+            if !live.contains(&p) {
+                continue;
+            }
+            if p == chosen {
+                run += 1;
+            } else {
+                return run;
+            }
+        }
+        // Prefix exhausted: round-robin takes over, which re-picks
+        // `chosen` only when it is the sole survivor — then forever.
+        if live.len() == 1 {
+            u64::MAX
+        } else {
+            run
+        }
+    }
+
+    fn commit_run(&mut self, chosen: Pid, taken: u64) {
+        for _ in 0..taken {
+            // Consume the prefix exactly as `taken` next() calls would
+            // (skipping non-live entries); past the prefix the decision
+            // is the round-robin default, which consumes nothing.
+            loop {
+                match self.prefix.next() {
+                    Some(p) if self.last_live.contains(&p) => {
+                        debug_assert_eq!(p, chosen, "committed lease diverged from forced prefix");
+                        break;
+                    }
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+            self.record.push(Decision {
+                chosen,
+                live: self.last_live.clone(),
+            });
+            self.last = Some(chosen);
+        }
     }
 }
 
@@ -304,9 +361,7 @@ where
                 if d.chosen != default {
                     deviations += 1;
                 }
-                if s >= prefix_len
-                    && s < opts.max_branch_depth
-                    && deviations < opts.max_deviations
+                if s >= prefix_len && s < opts.max_branch_depth && deviations < opts.max_deviations
                 {
                     for &q in &d.live {
                         if q != d.chosen {
@@ -359,6 +414,62 @@ mod tests {
         let record = out.get().expect("drop must publish");
         assert_eq!(record.len(), 1);
         assert_eq!(record[0].chosen, 1);
+    }
+
+    #[test]
+    fn forced_peek_and_commit_match_per_step_consumption() {
+        let finished = [false, false, true];
+        let status = SchedStatus {
+            finished: &finished,
+            step: 0,
+        };
+        // Prefix: run of 1s with an interleaved entry for finished pid 2
+        // (skipped), then a 0 that ends the run.
+        let prefix = vec![1, 1, 2, 1, 0, 1];
+
+        let per_step: Vec<Pid> = {
+            let out = Arc::new(OnceLock::new());
+            let mut a = ForcedSchedule::new(prefix.clone(), Arc::clone(&out));
+            (0..8).map(|_| a.next(&status)).collect()
+        };
+
+        let out = Arc::new(OnceLock::new());
+        let mut b = ForcedSchedule::new(prefix, Arc::clone(&out));
+        let mut leased = Vec::new();
+        while leased.len() < 8 {
+            let p = b.next(&status);
+            leased.push(p);
+            let extra = b.peek_run(&status, p).min(8 - leased.len() as u64);
+            if extra > 0 {
+                b.commit_run(p, extra);
+                leased.extend(std::iter::repeat_n(p, extra as usize));
+            }
+        }
+        assert_eq!(per_step, leased);
+        // The published decision records must be identical too — the
+        // explorer's child expansion depends on them.
+        drop(b);
+        let record = out.get().expect("drop publishes");
+        let rec_choices: Vec<Pid> = record.iter().map(|d| d.chosen).collect();
+        assert_eq!(rec_choices, per_step);
+        assert!(record.iter().all(|d| d.live == vec![0, 1]));
+    }
+
+    #[test]
+    fn forced_solo_survivor_peeks_unbounded() {
+        let finished = [true, false];
+        let status = SchedStatus {
+            finished: &finished,
+            step: 0,
+        };
+        let out = Arc::new(OnceLock::new());
+        let mut f = ForcedSchedule::new(vec![], Arc::clone(&out));
+        let p = f.next(&status);
+        assert_eq!(p, 1);
+        assert_eq!(f.peek_run(&status, p), u64::MAX);
+        f.commit_run(p, 3);
+        drop(f);
+        assert_eq!(out.get().unwrap().len(), 4);
     }
 
     /// A racy "lock": non-atomic test-then-set. Round-robin alone does

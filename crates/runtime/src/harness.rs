@@ -66,6 +66,10 @@ pub struct WorkloadSpec {
     pub cs_ops: usize,
     /// Step budget before declaring livelock.
     pub max_steps: u64,
+    /// Step-lease cap, forwarded to [`SimOptions::lease`]: `0` =
+    /// unbounded, `1` = legacy per-step, `k` = capped. Any value yields
+    /// the identical execution and report.
+    pub lease: u64,
 }
 
 impl WorkloadSpec {
@@ -75,6 +79,7 @@ impl WorkloadSpec {
             plans: vec![ProcPlan::normal(passages); n],
             cs_ops: 1,
             max_steps: 20_000_000,
+            lease: crate::sim::default_lease(),
         }
     }
 }
@@ -230,6 +235,7 @@ fn run_inner<M: Mem + ?Sized, U: Probe + 'static>(
     let opts = SimOptions {
         max_steps: spec.max_steps,
         abort_plan: vec![],
+        lease: spec.lease,
     };
     let report = simulate(mem, nprocs, policy, opts, |ctx| {
         let plan = spec.plans[ctx.pid];
@@ -342,6 +348,7 @@ mod tests {
             ],
             cs_ops: 3,
             max_steps: 1_000_000,
+            lease: crate::sim::default_lease(),
         };
         let report = run_lock(&lock, &mem, cs, &spec, Box::new(RandomSchedule::seeded(9))).unwrap();
         report.assert_safe();

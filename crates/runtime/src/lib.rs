@@ -7,7 +7,11 @@
 //!
 //! * [`StepGate`]/[`SteppedMem`] — every shared-memory operation becomes
 //!   a scheduling point; processes run on real threads but take steps one
-//!   at a time, in an order chosen by a [`SchedulePolicy`].
+//!   at a time, in an order chosen by a [`SchedulePolicy`]. When the
+//!   policy can see its next decisions ahead of time
+//!   ([`SchedulePolicy::peek_run`]) the scheduler batches them into a
+//!   single multi-step **lease** ([`SimOptions::lease`] caps the length)
+//!   — fewer condvar round-trips, byte-identical execution.
 //! * [`simulate`] — run `N` process bodies to completion under a policy,
 //!   with external abort-signal injection and a step-limit
 //!   livelock/starvation detector. Deterministic given the policy.
@@ -70,6 +74,6 @@ pub use pool::{default_jobs, par_map_indexed, resolve_jobs, run_jobs, Worker};
 pub use replay::{ParseRecordingError, Recorder, Recording, RecordingHandle, Replay};
 pub use rng::SmallRng;
 pub use schedule::{
-    BurstySchedule, RandomSchedule, RoundRobin, SchedStatus, SchedulePolicy, Scripted,
+    BurstySchedule, RandomSchedule, RoundRobin, SchedStatus, SchedulePolicy, Scripted, PEEK_CAP,
 };
-pub use sim::{simulate, simulate_probed, ProcCtx, SimError, SimOptions, SimReport};
+pub use sim::{default_lease, simulate, simulate_probed, ProcCtx, SimError, SimOptions, SimReport};

@@ -39,9 +39,8 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
 
 /// Parse a `SAL_JOBS`-style override. `None`, empty, unparsable or `0`
 /// all mean "no override" (fall through to detected parallelism).
@@ -73,11 +72,6 @@ pub fn resolve_jobs(jobs: usize) -> usize {
     }
 }
 
-/// How long an idle worker parks before re-scanning the queues even
-/// without a wakeup — a backstop against lost notifications, not the
-/// primary signalling path.
-const PARK_BACKSTOP: Duration = Duration::from_micros(200);
-
 struct Shared<T> {
     /// Global FIFO shards; seed item `i` lands in shard `i % workers`.
     injector: Vec<Mutex<VecDeque<T>>>,
@@ -88,6 +82,13 @@ struct Shared<T> {
     /// closure runs, so an executing job that is about to spawn keeps
     /// the pool alive).
     pending: AtomicUsize,
+    /// Enqueue sequence number, bumped under `gate` on every dynamic
+    /// spawn. A worker reads it *before* scanning the queues and
+    /// re-checks it under `gate` before parking: if it moved, an item
+    /// was enqueued mid-scan and the worker re-scans instead of
+    /// sleeping. This closes the lost-wakeup window without a timeout
+    /// backstop — parked workers burn zero wakeups on long cells.
+    enq_seq: AtomicU64,
     gate: Mutex<()>,
     wake: Condvar,
     /// First panic payload caught in any job; re-raised by the caller.
@@ -100,6 +101,7 @@ impl<T> Shared<T> {
             injector: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicUsize::new(0),
+            enq_seq: AtomicU64::new(0),
             gate: Mutex::new(()),
             wake: Condvar::new(),
             panic: Mutex::new(None),
@@ -154,6 +156,12 @@ impl<T> Worker<'_, T> {
             .lock()
             .unwrap()
             .push_back(item);
+        // Publish the enqueue: the sequence bump happens under the
+        // park gate, so an idle worker either sees the item when it
+        // scans, sees the bump when it re-checks before sleeping, or is
+        // already asleep and gets the notification.
+        let _gate = self.shared.gate.lock().unwrap();
+        self.shared.enq_seq.fetch_add(1, Ordering::Release);
         self.shared.wake.notify_one();
     }
 }
@@ -165,6 +173,10 @@ where
 {
     let worker = Worker { shared, index: me };
     loop {
+        // Baseline the enqueue sequence BEFORE scanning: an item pushed
+        // after this read either shows up in the scan or has bumped the
+        // sequence by the time we re-check under the gate.
+        let seq = shared.enq_seq.load(Ordering::Acquire);
         match shared.pop(me) {
             Some(item) => {
                 let res = catch_unwind(AssertUnwindSafe(|| f(item, &worker)));
@@ -184,14 +196,17 @@ where
                 if shared.pending.load(Ordering::SeqCst) == 0 {
                     return;
                 }
-                // Work exists (or is in flight and may spawn more) but
-                // none is grabbable right now: park until notified,
-                // with a timeout backstop against lost wakeups.
+                // Work is in flight (and may spawn more) but none is
+                // grabbable right now: park until an enqueue or
+                // termination notifies us. No timeout — every enqueue
+                // is covered by the sequence re-check below.
                 let gate = shared.gate.lock().unwrap();
                 if shared.pending.load(Ordering::SeqCst) == 0 {
                     return;
                 }
-                let _ = shared.wake.wait_timeout(gate, PARK_BACKSTOP).unwrap();
+                if shared.enq_seq.load(Ordering::Acquire) == seq {
+                    drop(shared.wake.wait(gate).unwrap());
+                }
             }
         }
     }
@@ -311,6 +326,51 @@ mod tests {
             }
         });
         assert_eq!(sum.load(Ordering::Relaxed), 15 + 28 + 6);
+    }
+
+    #[test]
+    fn parked_workers_wake_on_spawn() {
+        // Audit of notify-on-enqueue coverage (there is no timeout
+        // backstop to paper over a lost notification). One seed job on
+        // a two-worker pool: the idle worker parks with empty queues,
+        // then the seed spawns a child and blocks for a long time. The
+        // child can only run promptly if the enqueue woke the parked
+        // worker — a lost wakeup would leave it asleep until the parent
+        // returns, forcing the child onto the parent's worker.
+        let child_worker = AtomicUsize::new(usize::MAX);
+        let parent_worker = AtomicUsize::new(usize::MAX);
+        run_jobs(2, vec![0u32], |item, worker| {
+            if item == 0 {
+                parent_worker.store(worker.index(), Ordering::SeqCst);
+                worker.spawn(1);
+                // Long block: give the woken peer ample time to steal.
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            } else {
+                child_worker.store(worker.index(), Ordering::SeqCst);
+            }
+        });
+        assert_ne!(child_worker.load(Ordering::SeqCst), usize::MAX);
+        assert_ne!(
+            child_worker.load(Ordering::SeqCst),
+            parent_worker.load(Ordering::SeqCst),
+            "spawned job was not stolen by the parked worker — enqueue wakeup lost"
+        );
+    }
+
+    #[test]
+    fn spawn_chains_with_parked_peers_terminate() {
+        // Every link of the chain is spawned while the three non-owner
+        // workers sit parked; each enqueue and the final termination
+        // must each deliver their own wakeups (completion IS the
+        // assertion — a lost notification hangs the pool).
+        let count = AtomicU64::new(0);
+        run_jobs(4, vec![50u64], |k, worker| {
+            count.fetch_add(1, Ordering::Relaxed);
+            if k > 0 {
+                worker.spawn(k - 1);
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 51);
     }
 
     #[test]

@@ -174,6 +174,28 @@ impl SchedulePolicy for Replay {
             ),
         }
     }
+
+    fn peek_run(&self, _status: &SchedStatus<'_>, chosen: Pid) -> u64 {
+        // The upcoming decisions are literally written down: the run is
+        // the recording's leading repeat of `chosen`. (No finished
+        // check needed — only the leaseholder runs during the lease, so
+        // a run that outlives the process is simply cut short by the
+        // gate and the surplus never committed; the following next()
+        // call then reports the divergence exactly as per-step replay
+        // would.)
+        self.choices
+            .as_slice()
+            .iter()
+            .take_while(|&&p| p == chosen)
+            .count() as u64
+    }
+
+    fn commit_run(&mut self, chosen: Pid, taken: u64) {
+        for _ in 0..taken {
+            let p = self.choices.next();
+            debug_assert_eq!(p, Some(chosen), "committed lease diverged from recording");
+        }
+    }
 }
 
 /// Shared handle to a recording being captured.
@@ -221,6 +243,20 @@ impl SchedulePolicy for Recorder {
         let p = self.inner.next(status);
         self.recording.inner.lock().unwrap().choices.push(p);
         p
+    }
+
+    fn peek_run(&self, status: &SchedStatus<'_>, chosen: Pid) -> u64 {
+        self.inner.peek_run(status, chosen)
+    }
+
+    fn commit_run(&mut self, chosen: Pid, taken: u64) {
+        self.inner.commit_run(chosen, taken);
+        self.recording
+            .inner
+            .lock()
+            .unwrap()
+            .choices
+            .extend(std::iter::repeat_n(chosen, taken as usize));
     }
 }
 

@@ -24,6 +24,14 @@ pub struct SimOptions {
     /// flag, with no memory operations, never yields a scheduling point
     /// and the run cannot progress.
     pub abort_plan: Vec<(Pid, u64)>,
+    /// Step-lease cap: `0` = unbounded (lease as far as the policy can
+    /// see), `1` = legacy per-step scheduling (leases *and* the
+    /// adaptive spin gate off — the exact pre-lease handoff, kept as
+    /// the benchmarking reference), `k > 1` = at most `k` steps per
+    /// grant. Every value produces the identical execution — the cap
+    /// only trades scheduler round-trips against lease length. The
+    /// default honors `SAL_LEASE` via [`default_lease`].
+    pub lease: u64,
 }
 
 impl Default for SimOptions {
@@ -31,8 +39,18 @@ impl Default for SimOptions {
         SimOptions {
             max_steps: 5_000_000,
             abort_plan: Vec::new(),
+            lease: default_lease(),
         }
     }
+}
+
+/// The default step-lease cap: `SAL_LEASE` if set to a parsable number,
+/// else `0` (unbounded). See [`SimOptions::lease`] for the semantics.
+pub fn default_lease() -> u64 {
+    std::env::var("SAL_LEASE")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 /// Per-process context handed to simulation bodies.
@@ -215,13 +233,21 @@ where
         }
 
         // The scheduler runs on this thread.
+        let leases_on = opts.lease != 1;
+        if !leases_on {
+            // Cap 1 is the reference mode: strictly one step per
+            // handoff *and* park-only waits — the exact pre-lease
+            // scheduler, kept for baseline benchmarking.
+            gate.set_spin(false);
+        }
         let mut plan_idx = 0;
+        let mut finished: Vec<bool> = Vec::with_capacity(nprocs);
         loop {
             // Determinism hinges on this: only sample the policy once
             // every process is either parked at the gate or finished, so
             // the live set depends on the schedule, not thread timing.
             gate.await_all_settled();
-            let finished = gate.finished_flags();
+            gate.snapshot_finished(&mut finished);
             if finished.iter().all(|&f| f) {
                 break;
             }
@@ -246,13 +272,20 @@ where
             // Catch it, shut the gate down so they unwind too, and
             // re-raise after the scope joins.
             let picked = catch_unwind(AssertUnwindSafe(|| {
-                policy.next(&SchedStatus {
+                let status = SchedStatus {
                     finished: &finished,
                     step,
-                })
+                };
+                let p = policy.next(&status);
+                let extra = if leases_on {
+                    policy.peek_run(&status, p)
+                } else {
+                    0
+                };
+                (p, extra)
             }));
-            let p = match picked {
-                Ok(p) => p,
+            let (p, mut extra) = match picked {
+                Ok(x) => x,
                 Err(payload) => {
                     policy_panic = Some(payload);
                     gate.shutdown();
@@ -260,9 +293,36 @@ where
                 }
             };
             debug_assert!(!finished[p], "policy chose a finished process");
-            // grant() returns false if p finished in the meantime — the
-            // loop simply re-evaluates.
-            let _ = gate.grant(p);
+            if extra > 0 {
+                // A lease must never run past the next point where the
+                // scheduler has to act: the next abort-plan delivery and
+                // the step limit each need a decision point at exactly
+                // the counter value the per-step loop would observe.
+                if plan_idx < plan.len() {
+                    extra = extra.min(plan[plan_idx].1.saturating_sub(step + 1));
+                }
+                extra = extra.min(opts.max_steps.saturating_sub(step + 1));
+                if opts.lease > 1 {
+                    extra = extra.min(opts.lease - 1);
+                }
+            }
+            // grant_run() returns None if p finished in the meantime —
+            // the loop simply re-evaluates (the policy decision is
+            // consumed either way, exactly as per-step). A holder that
+            // finishes mid-lease returns the remainder: only the steps
+            // actually taken are committed to the policy.
+            if let Some(extra_taken) = gate.grant_run(p, extra) {
+                if extra_taken > 0 {
+                    let committed = catch_unwind(AssertUnwindSafe(|| {
+                        policy.commit_run(p, extra_taken);
+                    }));
+                    if let Err(payload) = committed {
+                        policy_panic = Some(payload);
+                        gate.shutdown();
+                        break;
+                    }
+                }
+            }
         }
     });
 
@@ -358,6 +418,7 @@ mod tests {
             SimOptions {
                 max_steps: 1000,
                 abort_plan: vec![],
+                lease: crate::sim::default_lease(),
             },
             |ctx| {
                 // Process 1 waits for a word nobody ever sets.
@@ -412,6 +473,7 @@ mod tests {
             SimOptions {
                 max_steps: 100_000,
                 abort_plan: vec![(0, 50)],
+                lease: crate::sim::default_lease(),
             },
             |ctx| {
                 // Spin until the external signal fires.
@@ -441,6 +503,7 @@ mod tests {
             SimOptions {
                 max_steps: 100_000,
                 abort_plan: vec![(1, 20)],
+                lease: crate::sim::default_lease(),
             },
             &log,
             |ctx| {
@@ -461,6 +524,114 @@ mod tests {
             .collect();
         assert_eq!(notes.len(), 1);
         assert_eq!(notes[0].pid, 1);
+    }
+
+    #[test]
+    fn lease_caps_do_not_change_the_execution() {
+        // The whole point of leases: every cap value (including
+        // unbounded) yields the identical interleaving, step count and
+        // final memory. Bursty schedules give real multi-step leases.
+        fn run(lease: u64) -> (Vec<u64>, u64, u64) {
+            let mut b = MemoryBuilder::new();
+            let w = b.alloc(0);
+            let mem = b.build_cc(3);
+            let trace = Mutex::new(Vec::new());
+            let report = simulate(
+                &mem,
+                3,
+                Box::new(crate::schedule::BurstySchedule::seeded(21, 0.9)),
+                SimOptions {
+                    max_steps: 1_000_000,
+                    abort_plan: vec![],
+                    lease,
+                },
+                |ctx| {
+                    for _ in 0..40 {
+                        let v = ctx.mem.faa(ctx.pid, w, 1);
+                        trace.lock().unwrap().push(v * 3 + ctx.pid as u64);
+                    }
+                },
+            )
+            .unwrap();
+            let mut t = trace.into_inner().unwrap();
+            t.sort_unstable();
+            (t, report.steps, mem.total_rmrs())
+        }
+        let reference = run(1);
+        for cap in [0, 2, 4, 64] {
+            assert_eq!(run(cap), reference, "lease cap {cap} diverged");
+        }
+    }
+
+    #[test]
+    fn abort_delivery_is_lease_exact() {
+        // A solo process under round-robin peeks an unbounded run; the
+        // plan-delivery cap must cut the lease so the flag lands at
+        // exactly the same step as per-step scheduling.
+        fn run(lease: u64) -> (u64, u64) {
+            let mut b = MemoryBuilder::new();
+            let w = b.alloc(0);
+            let mem = b.build_cc(1);
+            let report = simulate(
+                &mem,
+                1,
+                Box::new(RoundRobin::new()),
+                SimOptions {
+                    max_steps: 100_000,
+                    abort_plan: vec![(0, 50)],
+                    lease,
+                },
+                |ctx| {
+                    while !ctx.signal.is_set() {
+                        ctx.mem.read(ctx.pid, w);
+                    }
+                    ctx.event(EventKind::Aborted);
+                },
+            )
+            .unwrap();
+            let events = report.log.events();
+            (events[0].step, report.steps)
+        }
+        let reference = run(1);
+        for cap in [0, 7, 64] {
+            assert_eq!(run(cap), reference, "lease cap {cap} diverged");
+        }
+    }
+
+    #[test]
+    fn step_limit_is_lease_exact() {
+        // The step limit must trip at the same counter whatever the
+        // lease cap — the limit cap on lease length guarantees a
+        // decision point exactly at max_steps.
+        fn run(lease: u64) -> u64 {
+            let mut b = MemoryBuilder::new();
+            let w = b.alloc(0);
+            let mem = b.build_cc(2);
+            let err = simulate(
+                &mem,
+                2,
+                Box::new(RoundRobin::new()),
+                SimOptions {
+                    max_steps: 997,
+                    abort_plan: vec![],
+                    lease,
+                },
+                |ctx| {
+                    if ctx.pid == 1 {
+                        while ctx.mem.read(ctx.pid, w) == 0 {}
+                    }
+                },
+            )
+            .unwrap_err();
+            match err {
+                SimError::StepLimit { steps } => steps,
+                other => panic!("expected step limit, got {other:?}"),
+            }
+        }
+        let reference = run(1);
+        for cap in [0, 3, 64] {
+            assert_eq!(run(cap), reference, "lease cap {cap} diverged");
+        }
     }
 
     #[test]

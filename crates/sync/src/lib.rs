@@ -295,12 +295,10 @@ impl<'m, T: ?Sized, P: Probe> MutexHandle<'m, T, P> {
 
     /// Acquire the lock, waiting as long as it takes.
     pub fn lock(&mut self) -> MutexGuard<'_, 'm, T, P> {
-        let entered = self.mutex.lock.enter_probed(
-            &self.mutex.mem,
-            self.pid,
-            &NeverAbort,
-            &self.mutex.probe,
-        );
+        let entered =
+            self.mutex
+                .lock
+                .enter_probed(&self.mutex.mem, self.pid, &NeverAbort, &self.mutex.probe);
         debug_assert!(entered, "non-abortable enter cannot fail");
         MutexGuard {
             handle: self,
@@ -550,7 +548,10 @@ mod tests {
     #[test]
     fn builder_configures_capacity_and_branching() {
         let narrow = AbortableMutex::builder(()).capacity(4).branching(2).build();
-        let wide = AbortableMutex::builder(()).capacity(4).branching(64).build();
+        let wide = AbortableMutex::builder(())
+            .capacity(4)
+            .branching(64)
+            .build();
         assert_eq!(narrow.capacity(), 4);
         // A binary tree over the same leaves needs more words than a
         // 64-ary one.

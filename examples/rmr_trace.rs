@@ -21,6 +21,7 @@ fn run(n: usize, aborters: usize, label: &str) {
         plans,
         cs_ops: 1,
         max_steps: 5_000_000,
+        lease: sal_runtime::default_lease(),
     };
     let report = run_one_shot(
         &*built.lock,
@@ -88,6 +89,7 @@ fn main() {
         ],
         cs_ops: 1,
         max_steps: 100_000,
+        lease: sal_runtime::default_lease(),
     };
     let report = run_one_shot(
         &*built.lock,

@@ -40,6 +40,7 @@ fn conformance(kind: LockKind, n: usize, aborters: usize, seed: u64) {
         plans,
         cs_ops: 2,
         max_steps: 20_000_000,
+        lease: sal_runtime::default_lease(),
     };
     let report = run_lock(
         &*built.lock,
@@ -159,7 +160,10 @@ fn pre_fired_signal_aborts_promptly_when_held() {
         built.lock.exit(&built.mem, 0, &NoProbe);
         // Lock remains usable by a third process.
         assert!(
-            built.lock.enter(&built.mem, 2, &NeverAbort, &NoProbe).entered(),
+            built
+                .lock
+                .enter(&built.mem, 2, &NeverAbort, &NoProbe)
+                .entered(),
             "{kind:?}"
         );
         built.lock.exit(&built.mem, 2, &NoProbe);

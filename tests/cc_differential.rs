@@ -54,8 +54,16 @@ fn step(rng: &mut SmallRng, sharded: &dyn Mem, oracle: &dyn Mem, nprocs: usize, 
             );
         }
     }
-    assert_eq!(sharded.rmrs(p), oracle.rmrs(p), "rmrs(p) diverged after op by {p}");
-    assert_eq!(sharded.ops(p), oracle.ops(p), "ops(p) diverged after op by {p}");
+    assert_eq!(
+        sharded.rmrs(p),
+        oracle.rmrs(p),
+        "rmrs(p) diverged after op by {p}"
+    );
+    assert_eq!(
+        sharded.ops(p),
+        oracle.ops(p),
+        "ops(p) diverged after op by {p}"
+    );
 }
 
 fn run_seed(seed: u64, nprocs: usize, nwords: usize, ops: usize, mode: EpochMode) {
@@ -87,7 +95,11 @@ fn run_seed(seed: u64, nprocs: usize, nwords: usize, ops: usize, mode: EpochMode
         // One more read each — also must agree on its locality.
         let before_s = sharded.rmrs(0);
         let before_o = oracle.rmrs(0);
-        assert_eq!(sharded.read(0, w), oracle.read(0, w), "final value of word {i}");
+        assert_eq!(
+            sharded.read(0, w),
+            oracle.read(0, w),
+            "final value of word {i}"
+        );
         assert_eq!(sharded.rmrs(0) - before_s, oracle.rmrs(0) - before_o);
     }
 }
@@ -122,11 +134,11 @@ fn scripted_write_run_edge_cases_match() {
     // schedules from the cc.rs unit tests against the oracle too.
     let scripts: &[&[(usize, u8)]] = &[
         // (pid, op): 0=read, 1=write, 2=failed-cas, 3=swap, 4=faa
-        &[(0, 0), (1, 1), (0, 1), (0, 0)],         // foreign write inside own run
-        &[(0, 0), (0, 1), (0, 1), (0, 0)],         // own run keeps copy valid
-        &[(0, 0), (1, 2), (0, 0)],                 // failed CAS invalidates
+        &[(0, 0), (1, 1), (0, 1), (0, 0)], // foreign write inside own run
+        &[(0, 0), (0, 1), (0, 1), (0, 0)], // own run keeps copy valid
+        &[(0, 0), (1, 2), (0, 0)],         // failed CAS invalidates
         &[(0, 0), (1, 3), (0, 0), (1, 4), (0, 0)], // swap and faa invalidate
-        &[(0, 0), (0, 0), (0, 0)],                 // pure spinning is free
+        &[(0, 0), (0, 0), (0, 0)],         // pure spinning is free
     ];
     for script in scripts {
         let mut bs = MemoryBuilder::new();

@@ -18,6 +18,7 @@ fn check(kind: LockKind, plans: Vec<ProcPlan>, policy: Box<dyn SchedulePolicy>, 
         plans,
         cs_ops: 2,
         max_steps: 20_000_000,
+        lease: sal_runtime::default_lease(),
     };
     let report = run_lock(&*built.lock, &built.mem, built.cs_word, &spec, policy)
         .unwrap_or_else(|e| panic!("{tag}: {e}"));

@@ -26,6 +26,7 @@ fn run_contended(seed: u64, bursty: bool) -> (u64, u64, u64, u64) {
         SimOptions {
             max_steps: 10_000_000,
             abort_plan: vec![],
+            lease: sal_runtime::default_lease(),
         },
         |ctx| {
             for _ in 0..6 {

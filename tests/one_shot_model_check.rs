@@ -30,6 +30,7 @@ fn check(
         plans,
         cs_ops: 2,
         max_steps: 5_000_000,
+        lease: sal_runtime::default_lease(),
     };
     let report = run_one_shot(&lock, &mem, cs, &spec, policy)
         .unwrap_or_else(|e| panic!("{tag}: simulation failed: {e}"));
@@ -204,6 +205,7 @@ fn dsm_variant_model_check() {
             ],
             cs_ops: 2,
             max_steps: 5_000_000,
+            lease: sal_runtime::default_lease(),
         };
         let report = run_one_shot(
             &lock,

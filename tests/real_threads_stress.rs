@@ -253,7 +253,10 @@ fn cc_direct_stress(mode: EpochMode, threads: usize, per_thread: u64) {
         assert_eq!(mem.ops(p), issued, "process {p}: ops must equal issued ops");
         // Every faa and write is exactly 1 RMR; each read is 0 or 1.
         let write_type = per_thread * 2;
-        assert!(mem.rmrs(p) >= write_type, "process {p}: write-type RMRs missing");
+        assert!(
+            mem.rmrs(p) >= write_type,
+            "process {p}: write-type RMRs missing"
+        );
         assert!(mem.rmrs(p) <= issued, "process {p}: more RMRs than ops");
     }
     let total_ops: u64 = (0..threads).map(|p| mem.ops(p)).sum();

@@ -30,10 +30,13 @@ fn one_shot_run(
         SimOptions {
             max_steps: 100_000,
             abort_plan: vec![],
+            lease: sal_runtime::default_lease(),
         },
         |ctx| {
             let entered = match aborter_delay[ctx.pid] {
-                None => lock.enter(ctx.mem, ctx.pid, &sal_memory::NeverAbort).entered(),
+                None => lock
+                    .enter(ctx.mem, ctx.pid, &sal_memory::NeverAbort)
+                    .entered(),
                 Some(delay) => {
                     let deadline = ctx.steps() + delay;
                     let sig = SignalFn(|| ctx.steps() >= deadline);
@@ -145,6 +148,7 @@ fn long_lived_two_processes_two_passages() {
                 SimOptions {
                     max_steps: 200_000,
                     abort_plan: vec![],
+                    lease: sal_runtime::default_lease(),
                 },
                 |ctx| {
                     for _ in 0..2 {
