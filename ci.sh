@@ -22,5 +22,10 @@ cargo run --release -q -p sal-bench --bin expscale -- --smoke
 SAL_LEASE=1 cargo test --release -q -p sal-bench --test lease_determinism
 SAL_LEASE=64 cargo test --release -q -p sal-bench --test lease_determinism
 cargo run --release -q -p sal-bench --bin simscale -- --smoke
+# Facade/core split: the monomorphized LockCore path and the erased
+# AbortableLock path must produce identical simulations, and the native
+# hardware bench (writes BENCH_hwscale.json at the repo root) must run.
+cargo test --release -q -p sal-bench --test mono_equivalence
+cargo run --release -q -p sal-bench --bin hwscale -- --smoke
 cargo clippy -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

@@ -22,7 +22,7 @@
 //! the protocol minimal — the RMR profile, which is what Table 1
 //! compares, is unaffected.
 
-use sal_core::{AbortableLock, Outcome};
+use sal_core::{LockCore, LockMeta, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
 use sal_obs::{probed, Probe};
 use std::sync::Mutex;
@@ -106,12 +106,20 @@ impl LeeLock {
     }
 }
 
-impl<P: Probe + ?Sized> AbortableLock<P> for LeeLock {
+impl LockMeta for LeeLock {
     fn name(&self) -> String {
         "lee".into()
     }
+}
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+impl<M: Mem + ?Sized, P: Probe + ?Sized> LockCore<M, P> for LeeLock {
+    fn enter_core<S: AbortSignal + ?Sized>(
+        &self,
+        mem: &M,
+        p: Pid,
+        signal: &S,
+        probe: &P,
+    ) -> Outcome {
         probe.enter_begin(p);
         if self.acquire(&probed(mem, probe), p, signal) {
             probe.enter_end(p, None);
@@ -122,7 +130,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for LeeLock {
         }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+    fn exit_core(&self, mem: &M, p: Pid, probe: &P) {
         self.release(&probed(mem, probe), p);
         probe.cs_exit(p);
     }

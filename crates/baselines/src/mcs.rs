@@ -3,7 +3,7 @@
 //! extra primitives (SWAP) beat the `Ω(log N)` lower bound for plain
 //! mutual exclusion.
 
-use sal_core::{AbortableLock, Outcome};
+use sal_core::{LockCore, LockMeta, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
 use sal_obs::{probed, Probe};
 
@@ -62,7 +62,7 @@ impl McsLock {
     }
 }
 
-impl<P: Probe + ?Sized> AbortableLock<P> for McsLock {
+impl LockMeta for McsLock {
     fn name(&self) -> String {
         "mcs".into()
     }
@@ -70,15 +70,23 @@ impl<P: Probe + ?Sized> AbortableLock<P> for McsLock {
     fn is_abortable(&self) -> bool {
         false
     }
+}
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, _signal: &dyn AbortSignal, probe: &P) -> Outcome {
+impl<M: Mem + ?Sized, P: Probe + ?Sized> LockCore<M, P> for McsLock {
+    fn enter_core<S: AbortSignal + ?Sized>(
+        &self,
+        mem: &M,
+        p: Pid,
+        _signal: &S,
+        probe: &P,
+    ) -> Outcome {
         probe.enter_begin(p);
         self.acquire(&probed(mem, probe), p);
         probe.enter_end(p, None);
         Outcome::Entered { ticket: None }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+    fn exit_core(&self, mem: &M, p: Pid, probe: &P) {
         self.release(&probed(mem, probe), p);
         probe.cs_exit(p);
     }
@@ -142,7 +150,7 @@ mod tests {
     #[test]
     fn lock_trait_reports_not_abortable() {
         let (lock, _, mem) = build(1);
-        let l: &dyn AbortableLock = &lock;
+        let l: &dyn sal_core::AbortableLock = &lock;
         assert!(!l.is_abortable());
         assert!(l.enter(&mem, 0, &NeverAbort, &sal_obs::NoProbe).entered());
         l.exit(&mem, 0, &sal_obs::NoProbe);

@@ -19,7 +19,7 @@
 //! additionally reclaims nodes; ours deliberately leaks them to exhibit
 //! the "unbounded space" row honestly.
 
-use sal_core::{AbortableLock, Outcome};
+use sal_core::{LockCore, LockMeta, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
 use sal_obs::{probed, Probe};
 use std::sync::Mutex;
@@ -105,12 +105,20 @@ impl ScottLock {
     }
 }
 
-impl<P: Probe + ?Sized> AbortableLock<P> for ScottLock {
+impl LockMeta for ScottLock {
     fn name(&self) -> String {
         "scott".into()
     }
+}
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+impl<M: Mem + ?Sized, P: Probe + ?Sized> LockCore<M, P> for ScottLock {
+    fn enter_core<S: AbortSignal + ?Sized>(
+        &self,
+        mem: &M,
+        p: Pid,
+        signal: &S,
+        probe: &P,
+    ) -> Outcome {
         probe.enter_begin(p);
         if self.acquire(&probed(mem, probe), p, signal) {
             probe.enter_end(p, None);
@@ -121,7 +129,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for ScottLock {
         }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+    fn exit_core(&self, mem: &M, p: Pid, probe: &P) {
         self.release(&probed(mem, probe), p);
         probe.cs_exit(p);
     }

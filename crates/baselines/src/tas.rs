@@ -3,7 +3,7 @@
 //! degenerate corner of the abortable-lock design space: Table 1 is the
 //! story of doing better than this without giving up abortability.
 
-use sal_core::{AbortableLock, Outcome};
+use sal_core::{LockCore, LockMeta, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordId};
 use sal_obs::{probed, Probe};
 
@@ -42,12 +42,20 @@ impl TasLock {
     }
 }
 
-impl<P: Probe + ?Sized> AbortableLock<P> for TasLock {
+impl LockMeta for TasLock {
     fn name(&self) -> String {
         "tas".into()
     }
+}
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+impl<M: Mem + ?Sized, P: Probe + ?Sized> LockCore<M, P> for TasLock {
+    fn enter_core<S: AbortSignal + ?Sized>(
+        &self,
+        mem: &M,
+        p: Pid,
+        signal: &S,
+        probe: &P,
+    ) -> Outcome {
         probe.enter_begin(p);
         if self.acquire(&probed(mem, probe), p, signal) {
             probe.enter_end(p, None);
@@ -58,7 +66,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for TasLock {
         }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+    fn exit_core(&self, mem: &M, p: Pid, probe: &P) {
         self.release(&probed(mem, probe), p);
         probe.cs_exit(p);
     }

@@ -4,7 +4,7 @@
 //! the "F&A alone does not give you O(1)" contrast to MCS and the
 //! paper's lock.
 
-use sal_core::{AbortableLock, Outcome};
+use sal_core::{LockCore, LockMeta, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordId};
 use sal_obs::{probed, Probe};
 
@@ -38,7 +38,7 @@ impl TicketLock {
     }
 }
 
-impl<P: Probe + ?Sized> AbortableLock<P> for TicketLock {
+impl LockMeta for TicketLock {
     fn name(&self) -> String {
         "ticket".into()
     }
@@ -46,8 +46,16 @@ impl<P: Probe + ?Sized> AbortableLock<P> for TicketLock {
     fn is_abortable(&self) -> bool {
         false
     }
+}
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, _signal: &dyn AbortSignal, probe: &P) -> Outcome {
+impl<M: Mem + ?Sized, P: Probe + ?Sized> LockCore<M, P> for TicketLock {
+    fn enter_core<S: AbortSignal + ?Sized>(
+        &self,
+        mem: &M,
+        p: Pid,
+        _signal: &S,
+        probe: &P,
+    ) -> Outcome {
         probe.enter_begin(p);
         // Inlined acquire so the F&A doorway ticket can be reported —
         // the ticket lock is FCFS and the probe layer can check it.
@@ -58,7 +66,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for TicketLock {
         Outcome::Entered { ticket: Some(t) }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+    fn exit_core(&self, mem: &M, p: Pid, probe: &P) {
         self.release(&probed(mem, probe), p);
         probe.cs_exit(p);
     }

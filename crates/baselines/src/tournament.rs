@@ -18,7 +18,7 @@
 //! reproduce that structure — Table 1's "worst-case" and "no-abort"
 //! columns, which the benchmarks regenerate, are unaffected.
 
-use sal_core::{AbortableLock, Outcome};
+use sal_core::{LockCore, LockMeta, Outcome};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray};
 use sal_obs::{probed, Probe};
 
@@ -116,12 +116,20 @@ impl TournamentLock {
     }
 }
 
-impl<P: Probe + ?Sized> AbortableLock<P> for TournamentLock {
+impl LockMeta for TournamentLock {
     fn name(&self) -> String {
         "tournament".into()
     }
+}
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+impl<M: Mem + ?Sized, P: Probe + ?Sized> LockCore<M, P> for TournamentLock {
+    fn enter_core<S: AbortSignal + ?Sized>(
+        &self,
+        mem: &M,
+        p: Pid,
+        signal: &S,
+        probe: &P,
+    ) -> Outcome {
         probe.enter_begin(p);
         if self.acquire(&probed(mem, probe), p, signal) {
             probe.enter_end(p, None);
@@ -132,7 +140,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for TournamentLock {
         }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+    fn exit_core(&self, mem: &M, p: Pid, probe: &P) {
         self.release(&probed(mem, probe), p);
         probe.cs_exit(p);
     }

@@ -19,7 +19,8 @@
 //! in cell order so all output is byte-identical to a serial run.
 
 use sal_bench::{
-    export_events, no_abort_sweep, par_grid, save_json, worst_case_sweep, LockKind, Table,
+    export_events, no_abort_sweep, par_grid, save_json, save_json_with_log, worst_case_sweep,
+    LockKind, Table,
 };
 use sal_core::tree::{FindNextResult, Tree};
 use sal_memory::{MemoryBuilder, RmrProbe};
@@ -318,7 +319,7 @@ fn fig5(jobs: usize) {
         "recycle stability: 50 passages/process, 2 processes → max {} RMRs/passage (no drift).",
         p.max_entered_rmrs
     );
-    save_json("fig5_long_lived", &points);
+    save_json_with_log("fig5_long_lived", &points, &log);
     export_events(&log, "fig5_events");
 }
 

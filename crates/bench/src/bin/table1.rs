@@ -17,7 +17,7 @@
 
 use sal_bench::{
     adaptive_sweep_probed, export_events, no_abort_sweep, no_abort_sweep_probed, par_grid,
-    save_json, space_row, worst_case_sweep, LockKind, Table,
+    save_json, save_json_with_log, space_row, worst_case_sweep, LockKind, Table,
 };
 use sal_obs::EventLog;
 use sal_runtime::{run_one_shot, ProcPlan, RandomSchedule, WorkloadSpec};
@@ -122,7 +122,7 @@ fn no_abort(jobs: usize) {
             s.render()
         );
     }
-    save_json("table1_no_abort", &points);
+    save_json_with_log("table1_no_abort", &points, &log);
     export_events(&log, "table1_no_abort_events");
 }
 
@@ -162,7 +162,7 @@ fn adaptive(jobs: usize) {
         "shape check: ours tracks log_{B} A (stays flat until A is large); tournament is \
          pinned at log2 N regardless; scott tracks A; lee grows fastest."
     );
-    save_json("table1_adaptive", &points);
+    save_json_with_log("table1_adaptive", &points, &log);
     export_events(&log, "table1_adaptive_events");
 }
 

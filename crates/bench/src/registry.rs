@@ -51,6 +51,21 @@ pub enum LockKind {
 }
 
 impl LockKind {
+    /// The CLI names [`parse`](LockKind::parse) accepts, one per kind.
+    pub const NAMES: &'static [&'static str] = &[
+        "one-shot",
+        "one-shot-plain",
+        "one-shot-dsm",
+        "long-lived",
+        "long-lived-simple",
+        "mcs",
+        "ticket",
+        "tas",
+        "tournament",
+        "scott",
+        "lee",
+    ];
+
     /// Short label for tables.
     pub fn label(self) -> String {
         match self {
@@ -86,7 +101,8 @@ impl LockKind {
     ///
     /// # Errors
     ///
-    /// When the name matches no known lock kind.
+    /// When the name matches no known lock kind; the message lists the
+    /// valid names.
     pub fn parse(name: &str, b: usize) -> Result<LockKind, String> {
         Ok(match name {
             "one-shot" => LockKind::OneShot { b },
@@ -100,7 +116,12 @@ impl LockKind {
             "tournament" => LockKind::Tournament,
             "scott" => LockKind::Scott,
             "lee" => LockKind::Lee,
-            other => return Err(format!("unknown lock {other}")),
+            other => {
+                return Err(format!(
+                    "unknown lock {other}; valid kinds: {}",
+                    LockKind::NAMES.join(", ")
+                ))
+            }
         })
     }
 
@@ -229,5 +250,18 @@ mod tests {
             assert_eq!(LockKind::parse(name, 8).unwrap(), want);
         }
         assert!(LockKind::parse("bogus", 8).is_err());
+    }
+
+    #[test]
+    fn parse_error_lists_every_valid_kind() {
+        let err = LockKind::parse("bogus", 8).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        for name in LockKind::NAMES {
+            assert!(err.contains(name), "error should list {name:?}: {err}");
+        }
+        // NAMES and parse agree: every listed name parses.
+        for name in LockKind::NAMES {
+            assert!(LockKind::parse(name, 8).is_ok(), "{name}");
+        }
     }
 }

@@ -143,6 +143,19 @@ pub fn save_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     }
 }
 
+/// [`save_json`], wrapping the result with the event-log truncation
+/// count of the run that produced it: the artifact becomes
+/// `{"dropped_events": N, "results": <value>}`, so a bounded log that
+/// overflowed is visible in the JSON itself, not only on the console.
+/// `N == 0` is written too — downstream tooling can rely on the field.
+pub fn save_json_with_log<T: ToJson + ?Sized>(name: &str, value: &T, log: &sal_obs::EventLog) {
+    let wrapped = Json::obj(vec![
+        ("dropped_events", log.dropped().to_json()),
+        ("results", value.to_json()),
+    ]);
+    save_json(name, &wrapped);
+}
+
 /// Export an [`EventLog`](sal_obs::EventLog) as JSONL under
 /// `target/experiments/<name>.jsonl` and verify the file parses back to
 /// the same events — the replay-schema contract the exports promise.

@@ -46,4 +46,4 @@ pub mod long_lived;
 pub mod one_shot;
 pub mod tree;
 
-pub use lock::{AbortableLock, Outcome};
+pub use lock::{AbortableLock, DynLock, LockCore, LockMeta, Outcome};

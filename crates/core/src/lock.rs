@@ -16,6 +16,31 @@
 //! * A concrete `P` (e.g. [`NoProbe`](sal_obs::NoProbe)) monomorphizes
 //!   every hook away — `sal-sync`'s uninstrumented path keeps its
 //!   codegen.
+//!
+//! # Facade vs. core
+//!
+//! [`AbortableLock`] is the *facade*: object-safe, memory-erased
+//! (`&dyn Mem`), stable. The algorithms themselves implement the
+//! *core* pair instead:
+//!
+//! * [`LockMeta`] — memory-independent metadata (name, abortability).
+//! * [`LockCore<M, P>`] — `enter_core`/`exit_core` generic over the
+//!   concrete memory type `M` (and abort-signal type), so that on
+//!   [`RawMemory`](sal_memory::RawMemory) with
+//!   [`NoProbe`](sal_obs::NoProbe) the whole passage compiles down to
+//!   direct atomic instructions: no vtables, no probe hooks, no
+//!   erased word table.
+//!
+//! A blanket impl derives the facade from the core at `M = dyn Mem`
+//! (references forward `Mem`, so every `LockCore` implementor covers
+//! `dyn Mem` automatically), which is why converting a lock to
+//! `LockCore` cannot change the behaviour observed through
+//! `Box<dyn AbortableLock>` registries: the facade *is* the core,
+//! instantiated at the erased types. [`DynLock`] closes the loop in
+//! the other direction — it adapts any `&dyn AbortableLock` back into
+//! a `LockCore` over every memory type — so generic drivers (the
+//! harness, the `hwscale` bench) run both dispatch flavours through
+//! one code path.
 
 use sal_memory::{AbortSignal, Mem, Pid};
 use sal_obs::Probe;
@@ -108,6 +133,142 @@ pub trait AbortableLock<P: Probe + ?Sized = dyn Probe>: Send + Sync + Debug {
     /// Release the lock as process `p` (which must be in the CS),
     /// reporting the passage completion to `probe`.
     fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P);
+}
+
+/// Memory-independent lock metadata, shared by every instantiation of
+/// [`LockCore`].
+///
+/// Split out of `LockCore` so that `name()` can be asked of a lock
+/// without naming a memory type, and so each algorithm states its
+/// metadata exactly once.
+pub trait LockMeta: Send + Sync + Debug {
+    /// Short machine-readable name, e.g. `"one-shot(B=8)"`.
+    fn name(&self) -> String;
+
+    /// Whether `enter_core` honours the abort signal.
+    fn is_abortable(&self) -> bool {
+        true
+    }
+
+    /// Whether each process may acquire this lock at most once.
+    fn is_one_shot(&self) -> bool {
+        false
+    }
+}
+
+/// The generic core of a lock: [`AbortableLock`] with the memory,
+/// probe *and* signal types as compile-time parameters.
+///
+/// Algorithms implement this once, generically
+/// (`impl<M: Mem + ?Sized, P: Probe + ?Sized> LockCore<M, P> for X`),
+/// and get three call paths for the price of one:
+///
+/// * **Monomorphized** — `M = RawMemory`, `P = NoProbe`: every memory
+///   op inlines to a direct `AtomicU64` access; probe hooks vanish.
+/// * **Instrumented** — `M = CcMemory`, `P = PassageStats`: full RMR
+///   accounting, still statically dispatched.
+/// * **Erased** — the blanket [`AbortableLock`] impl below
+///   instantiates the core at `M = dyn Mem`, `S = dyn AbortSignal`,
+///   recovering the object-safe facade unchanged.
+///
+/// `enter_core` is generic over the signal type and therefore not
+/// object-safe; that is fine — type erasure is the facade's job.
+pub trait LockCore<M: Mem + ?Sized, P: Probe + ?Sized>: LockMeta {
+    /// Attempt to acquire the lock as process `p`, reporting passage
+    /// events to `probe`. Semantics are those of
+    /// [`AbortableLock::enter`].
+    fn enter_core<S: AbortSignal + ?Sized>(
+        &self,
+        mem: &M,
+        p: Pid,
+        signal: &S,
+        probe: &P,
+    ) -> Outcome;
+
+    /// Release the lock as process `p` (which must be in the CS).
+    /// Semantics are those of [`AbortableLock::exit`].
+    fn exit_core(&self, mem: &M, p: Pid, probe: &P);
+}
+
+/// The facade derived from the core: any lock whose `LockCore` covers
+/// `dyn Mem` (which every generic implementor does, via the `Mem`
+/// forwarding impl for references) is an `AbortableLock` with
+/// identical behaviour — the facade methods *are* the core methods at
+/// the erased types, so `Box<dyn AbortableLock>` registries and the
+/// simulator observe exactly the code they did before the split.
+impl<P, L> AbortableLock<P> for L
+where
+    P: Probe + ?Sized,
+    L: for<'m> LockCore<dyn Mem + 'm, P>,
+{
+    fn name(&self) -> String {
+        LockMeta::name(self)
+    }
+
+    fn is_abortable(&self) -> bool {
+        LockMeta::is_abortable(self)
+    }
+
+    fn is_one_shot(&self) -> bool {
+        LockMeta::is_one_shot(self)
+    }
+
+    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+        self.enter_core(mem, p, signal, probe)
+    }
+
+    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+        self.exit_core(mem, p, probe)
+    }
+}
+
+/// Adapter running a type-erased lock through the generic [`LockCore`]
+/// interface: the inverse of the blanket facade impl.
+///
+/// `DynLock(&lock)` implements `LockCore<M, P>` for *every* memory and
+/// probe type by re-erasing the arguments at the call boundary
+/// (`&&M → &dyn Mem`, etc.), so it costs exactly one virtual call per
+/// lock operation — no more, no less. Generic drivers written against
+/// `LockCore` (the harness, `hwscale`) accept `DynLock` to exercise
+/// the dynamic-dispatch flavour through the very same driver code that
+/// runs the monomorphized flavour, which is what makes mono-vs-dyn
+/// comparisons and equivalence tests fair.
+#[derive(Debug, Clone, Copy)]
+pub struct DynLock<'l>(pub &'l dyn AbortableLock);
+
+impl LockMeta for DynLock<'_> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+
+    fn is_abortable(&self) -> bool {
+        self.0.is_abortable()
+    }
+
+    fn is_one_shot(&self) -> bool {
+        self.0.is_one_shot()
+    }
+}
+
+/// `P: 'static` (rather than `?Sized`) because the wrapped facade
+/// fixes its probe parameter at `dyn Probe + 'static`, so the probe is
+/// the one argument that cannot be re-erased at an arbitrary lifetime.
+/// Every generic driver uses a concrete owned probe type, so this
+/// costs nothing in practice.
+impl<M: Mem + ?Sized, P: Probe + 'static> LockCore<M, P> for DynLock<'_> {
+    fn enter_core<S: AbortSignal + ?Sized>(
+        &self,
+        mem: &M,
+        p: Pid,
+        signal: &S,
+        probe: &P,
+    ) -> Outcome {
+        self.0.enter(&mem, p, &signal, probe)
+    }
+
+    fn exit_core(&self, mem: &M, p: Pid, probe: &P) {
+        self.0.exit(&mem, p, probe)
+    }
 }
 
 #[cfg(test)]

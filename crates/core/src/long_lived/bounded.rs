@@ -31,7 +31,7 @@
 use super::desc::TaggedDesc;
 use super::spin_pool::SpinNodePool;
 use super::versioned::VersionedInstance;
-use crate::lock::{AbortableLock, Outcome};
+use crate::lock::{LockCore, LockMeta, Outcome};
 use crate::one_shot::OneShotLock;
 use crate::tree::Ascent;
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordId};
@@ -331,12 +331,20 @@ impl BoundedLongLivedLock {
     }
 }
 
-impl<P: Probe + ?Sized> AbortableLock<P> for BoundedLongLivedLock {
+impl LockMeta for BoundedLongLivedLock {
     fn name(&self) -> String {
         format!("long-lived(B={})", self.branching())
     }
+}
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+impl<M: Mem + ?Sized, P: Probe + ?Sized> LockCore<M, P> for BoundedLongLivedLock {
+    fn enter_core<S: AbortSignal + ?Sized>(
+        &self,
+        mem: &M,
+        p: Pid,
+        signal: &S,
+        probe: &P,
+    ) -> Outcome {
         if self.enter_probed(mem, p, signal, probe) {
             Outcome::Entered { ticket: None }
         } else {
@@ -344,7 +352,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for BoundedLongLivedLock {
         }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+    fn exit_core(&self, mem: &M, p: Pid, probe: &P) {
         self.exit_probed(mem, p, probe);
     }
 }
@@ -448,7 +456,7 @@ mod tests {
     #[test]
     fn lock_trait_object_usage() {
         let (lock, mem) = build(2);
-        let l: &dyn AbortableLock = &lock;
+        let l: &dyn crate::AbortableLock = &lock;
         assert!(!l.is_one_shot());
         assert!(l.enter(&mem, 1, &NeverAbort, &NoProbe).entered());
         l.exit(&mem, 1, &NoProbe);

@@ -10,7 +10,7 @@
 //! bounded-space version of §6.2.
 
 use super::desc::SimpleDesc;
-use crate::lock::{AbortableLock, Outcome};
+use crate::lock::{LockCore, LockMeta, Outcome};
 use crate::one_shot::OneShotLock;
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
 use sal_obs::{probed, NoProbe, Probe};
@@ -211,15 +211,23 @@ impl SimpleLongLivedLock {
     }
 }
 
-impl<P: Probe + ?Sized> AbortableLock<P> for SimpleLongLivedLock {
+impl LockMeta for SimpleLongLivedLock {
     fn name(&self) -> String {
         format!(
             "long-lived-simple(B={})",
             self.instances[0].tree().branching()
         )
     }
+}
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+impl<M: Mem + ?Sized, P: Probe + ?Sized> LockCore<M, P> for SimpleLongLivedLock {
+    fn enter_core<S: AbortSignal + ?Sized>(
+        &self,
+        mem: &M,
+        p: Pid,
+        signal: &S,
+        probe: &P,
+    ) -> Outcome {
         if self.enter_probed(mem, p, signal, probe) {
             Outcome::Entered { ticket: None }
         } else {
@@ -227,7 +235,7 @@ impl<P: Probe + ?Sized> AbortableLock<P> for SimpleLongLivedLock {
         }
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+    fn exit_core(&self, mem: &M, p: Pid, probe: &P) {
         self.exit_probed(mem, p, probe);
     }
 }

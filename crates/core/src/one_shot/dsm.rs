@@ -7,7 +7,7 @@
 //! publishes it in `announce[ticket]`. A handoff writes `go[i] = 1`,
 //! reads `announce[i]`, and — if published — sets the spin bit.
 
-use crate::lock::{AbortableLock, Outcome};
+use crate::lock::{LockCore, LockMeta, Outcome};
 use crate::tree::{Ascent, FindNextResult, Tree};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
 use sal_obs::{probed, Probe};
@@ -168,7 +168,7 @@ impl DsmOneShotLock {
     }
 }
 
-impl<P: Probe + ?Sized> AbortableLock<P> for DsmOneShotLock {
+impl LockMeta for DsmOneShotLock {
     fn name(&self) -> String {
         format!("one-shot-dsm(B={})", self.tree.branching())
     }
@@ -176,12 +176,20 @@ impl<P: Probe + ?Sized> AbortableLock<P> for DsmOneShotLock {
     fn is_one_shot(&self) -> bool {
         true
     }
+}
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+impl<M: Mem + ?Sized, P: Probe + ?Sized> LockCore<M, P> for DsmOneShotLock {
+    fn enter_core<S: AbortSignal + ?Sized>(
+        &self,
+        mem: &M,
+        p: Pid,
+        signal: &S,
+        probe: &P,
+    ) -> Outcome {
         self.enter_probed(mem, p, signal, probe).into()
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+    fn exit_core(&self, mem: &M, p: Pid, probe: &P) {
         self.exit_probed(mem, p, probe);
     }
 }

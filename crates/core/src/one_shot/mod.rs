@@ -27,7 +27,7 @@ mod dsm;
 
 pub use dsm::DsmOneShotLock;
 
-use crate::lock::{AbortableLock, Outcome};
+use crate::lock::{LockCore, LockMeta, Outcome};
 use crate::tree::{Ascent, FindNextResult, Tree};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
 use sal_obs::{probed, Probe};
@@ -236,7 +236,7 @@ impl OneShotLock {
     }
 }
 
-impl<P: Probe + ?Sized> AbortableLock<P> for OneShotLock {
+impl LockMeta for OneShotLock {
     fn name(&self) -> String {
         let flavour = match self.ascent {
             Ascent::Plain => "plain",
@@ -248,12 +248,20 @@ impl<P: Probe + ?Sized> AbortableLock<P> for OneShotLock {
     fn is_one_shot(&self) -> bool {
         true
     }
+}
 
-    fn enter(&self, mem: &dyn Mem, p: Pid, signal: &dyn AbortSignal, probe: &P) -> Outcome {
+impl<M: Mem + ?Sized, P: Probe + ?Sized> LockCore<M, P> for OneShotLock {
+    fn enter_core<S: AbortSignal + ?Sized>(
+        &self,
+        mem: &M,
+        p: Pid,
+        signal: &S,
+        probe: &P,
+    ) -> Outcome {
         self.enter_probed(mem, p, signal, probe).into()
     }
 
-    fn exit(&self, mem: &dyn Mem, p: Pid, probe: &P) {
+    fn exit_core(&self, mem: &M, p: Pid, probe: &P) {
         self.exit_probed(mem, p, probe);
     }
 }
@@ -366,7 +374,7 @@ mod tests {
     #[test]
     fn lock_trait_round_trip() {
         let (lock, mem) = build(2, 2);
-        let l: &dyn AbortableLock = &lock;
+        let l: &dyn crate::AbortableLock = &lock;
         assert!(l.is_one_shot());
         assert!(l.is_abortable());
         assert!(l.name().contains("one-shot"));

@@ -33,7 +33,7 @@ pub enum EventKind {
 }
 
 /// One log entry.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Event {
     /// The process that recorded the event.
     pub pid: Pid,

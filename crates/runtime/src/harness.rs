@@ -11,9 +11,10 @@
 //! results afterwards.
 
 use crate::events::{EventKind, FcfsViolation, MutexViolation};
+use crate::gate::SteppedMem;
 use crate::schedule::SchedulePolicy;
 use crate::sim::{simulate, SimError, SimOptions};
-use sal_core::AbortableLock;
+use sal_core::{AbortableLock, DynLock, LockCore};
 use sal_memory::{AbortSignal, Mem, SignalFn, WordId};
 use sal_obs::{probed, NoProbe, PassageRecord, PassageStats, Probe};
 
@@ -150,7 +151,7 @@ pub fn run_lock<M: Mem + ?Sized>(
     spec: &WorkloadSpec,
     policy: Box<dyn SchedulePolicy>,
 ) -> Result<WorkloadReport, SimError> {
-    run_inner(lock, mem, cs_word, spec, policy, false, NoProbe)
+    run_inner(&DynLock(lock), mem, cs_word, spec, policy, false, NoProbe)
 }
 
 /// [`run_lock`] with an extra probe sink: every passage hook the run
@@ -165,7 +166,50 @@ pub fn run_lock_probed<M: Mem + ?Sized, U: Probe + 'static>(
     policy: Box<dyn SchedulePolicy>,
     probe: U,
 ) -> Result<WorkloadReport, SimError> {
-    run_inner(lock, mem, cs_word, spec, policy, false, probe)
+    run_inner(&DynLock(lock), mem, cs_word, spec, policy, false, probe)
+}
+
+/// Statically-dispatched [`run_lock`]: drive a lock through its
+/// [`LockCore`] impl, monomorphized for this harness's memory wrapper,
+/// with no `dyn` boundary between the harness and the algorithm.
+///
+/// Behaviour is identical to [`run_lock`] on the same lock — the `dyn`
+/// entry points are this function applied to [`DynLock`] — which is
+/// what `tests/mono_equivalence.rs` checks.
+pub fn run_lock_core<M, L>(
+    lock: &L,
+    mem: &M,
+    cs_word: WordId,
+    spec: &WorkloadSpec,
+    policy: Box<dyn SchedulePolicy>,
+) -> Result<WorkloadReport, SimError>
+where
+    M: Mem + ?Sized,
+    L: for<'a> LockCore<SteppedMem<'a, M>, (PassageStats, NoProbe)>,
+{
+    run_inner(lock, mem, cs_word, spec, policy, false, NoProbe)
+}
+
+/// [`run_lock_core`] with an extra probe sink (statically-dispatched
+/// analogue of [`run_lock_probed`]). `doorway_tickets` selects whether
+/// doorway tickets are recorded for the FCFS check, covering the
+/// [`run_one_shot`] flavour too.
+#[allow(clippy::too_many_arguments)]
+pub fn run_lock_core_probed<M, L, U>(
+    lock: &L,
+    mem: &M,
+    cs_word: WordId,
+    spec: &WorkloadSpec,
+    policy: Box<dyn SchedulePolicy>,
+    doorway_tickets: bool,
+    probe: U,
+) -> Result<WorkloadReport, SimError>
+where
+    M: Mem + ?Sized,
+    U: Probe + 'static,
+    L: for<'a> LockCore<SteppedMem<'a, M>, (PassageStats, U)>,
+{
+    run_inner(lock, mem, cs_word, spec, policy, doorway_tickets, probe)
 }
 
 /// Like [`run_lock`], but additionally records doorway tickets (as
@@ -179,7 +223,7 @@ pub fn run_one_shot<M: Mem + ?Sized>(
     spec: &WorkloadSpec,
     policy: Box<dyn SchedulePolicy>,
 ) -> Result<WorkloadReport, SimError> {
-    run_inner(lock, mem, cs_word, spec, policy, true, NoProbe)
+    run_inner(&DynLock(lock), mem, cs_word, spec, policy, true, NoProbe)
 }
 
 /// [`run_one_shot`] with an extra probe sink.
@@ -191,7 +235,7 @@ pub fn run_one_shot_probed<M: Mem + ?Sized, U: Probe + 'static>(
     policy: Box<dyn SchedulePolicy>,
     probe: U,
 ) -> Result<WorkloadReport, SimError> {
-    run_inner(lock, mem, cs_word, spec, policy, true, probe)
+    run_inner(&DynLock(lock), mem, cs_word, spec, policy, true, probe)
 }
 
 /// Run one independent simulation per seed on a pool of `jobs` workers
@@ -217,20 +261,29 @@ where
         .collect()
 }
 
+/// The one workload driver behind every `run_*` entry point, generic
+/// over the lock's [`LockCore`] impl at the harness's stepped memory
+/// type. The `dyn`-dispatch flavour is this same function instantiated
+/// at [`DynLock`], so both flavours execute literally the same driver.
 #[allow(clippy::too_many_arguments)]
-fn run_inner<M: Mem + ?Sized, U: Probe + 'static>(
-    lock: &dyn AbortableLock,
+fn run_inner<M, L, U>(
+    lock: &L,
     mem: &M,
     cs_word: WordId,
     spec: &WorkloadSpec,
     policy: Box<dyn SchedulePolicy>,
     doorway_tickets: bool,
     user_probe: U,
-) -> Result<WorkloadReport, SimError> {
+) -> Result<WorkloadReport, SimError>
+where
+    M: Mem + ?Sized,
+    U: Probe + 'static,
+    L: for<'a> LockCore<SteppedMem<'a, M>, (PassageStats, U)>,
+{
     let nprocs = spec.plans.len();
     let stats = PassageStats::new();
-    // An owned pair of sinks: `&probe` coerces to `&dyn Probe` (the
-    // trait-object lock API requires a `'static` probe type).
+    // An owned pair of sinks: a `'static` probe type, as the
+    // trait-object lock API requires when `L` is a `DynLock`.
     let probe = (stats.clone(), user_probe);
     let opts = SimOptions {
         max_steps: spec.max_steps,
@@ -242,7 +295,7 @@ fn run_inner<M: Mem + ?Sized, U: Probe + 'static>(
         for _attempt in 0..plan.passages {
             ctx.event(EventKind::EnterStart);
             let do_enter = |signal: &dyn AbortSignal| {
-                let outcome = lock.enter(ctx.mem, ctx.pid, signal, &probe);
+                let outcome = lock.enter_core(ctx.mem, ctx.pid, signal, &probe);
                 if doorway_tickets {
                     if let Some(t) = outcome.ticket() {
                         // Ticket *values* (not event positions) drive the
@@ -270,7 +323,7 @@ fn run_inner<M: Mem + ?Sized, U: Probe + 'static>(
                     pm.faa(ctx.pid, cs_word, 1);
                 }
                 ctx.event(EventKind::CsLeave);
-                lock.exit(ctx.mem, ctx.pid, &probe);
+                lock.exit_core(ctx.mem, ctx.pid, &probe);
                 ctx.event(EventKind::ExitDone);
             } else {
                 ctx.event(EventKind::Aborted);

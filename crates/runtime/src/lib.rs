@@ -67,8 +67,8 @@ pub use events::{Event, EventKind, EventLog, FcfsViolation, MutexViolation};
 pub use explore::{explore, ExplorationResult, ExploreOptions, ForcedSchedule};
 pub use gate::{stepped, StepGate, StepLayer, SteppedMem};
 pub use harness::{
-    par_runs, run_lock, run_lock_probed, run_one_shot, run_one_shot_probed, ProcPlan, Role,
-    WorkloadReport, WorkloadSpec,
+    par_runs, run_lock, run_lock_core, run_lock_core_probed, run_lock_probed, run_one_shot,
+    run_one_shot_probed, ProcPlan, Role, WorkloadReport, WorkloadSpec,
 };
 pub use pool::{default_jobs, par_map_indexed, resolve_jobs, run_jobs, Worker};
 pub use replay::{ParseRecordingError, Recorder, Recording, RecordingHandle, Replay};

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 use sal_core::long_lived::BoundedLongLivedLock;
+use sal_core::LockCore;
 use sal_memory::{AbortSignal, Deadline, Mem, MemoryBuilder, NeverAbort, Pid, RawMemory};
 use sal_obs::{NoProbe, Probe};
 use std::cell::UnsafeCell;
@@ -294,12 +295,16 @@ impl<'m, T: ?Sized, P: Probe> MutexHandle<'m, T, P> {
     }
 
     /// Acquire the lock, waiting as long as it takes.
+    ///
+    /// Routed through [`LockCore`] monomorphized at
+    /// `(RawMemory, P)` — with the default [`NoProbe`] the whole
+    /// passage compiles to direct atomic operations.
     pub fn lock(&mut self) -> MutexGuard<'_, 'm, T, P> {
-        let entered =
+        let outcome =
             self.mutex
                 .lock
-                .enter_probed(&self.mutex.mem, self.pid, &NeverAbort, &self.mutex.probe);
-        debug_assert!(entered, "non-abortable enter cannot fail");
+                .enter_core(&self.mutex.mem, self.pid, &NeverAbort, &self.mutex.probe);
+        debug_assert!(outcome.entered(), "non-abortable enter cannot fail");
         MutexGuard {
             handle: self,
             _marker: std::marker::PhantomData,
@@ -317,7 +322,8 @@ impl<'m, T: ?Sized, P: Probe> MutexHandle<'m, T, P> {
         if self
             .mutex
             .lock
-            .enter_probed(&self.mutex.mem, self.pid, &signal, &self.mutex.probe)
+            .enter_core(&self.mutex.mem, self.pid, signal, &self.mutex.probe)
+            .entered()
         {
             Some(MutexGuard {
                 handle: self,
@@ -388,7 +394,7 @@ impl<T: ?Sized, P: Probe> DerefMut for MutexGuard<'_, '_, T, P> {
 
 impl<T: ?Sized, P: Probe> Drop for MutexGuard<'_, '_, T, P> {
     fn drop(&mut self) {
-        self.handle.mutex.lock.exit_probed(
+        self.handle.mutex.lock.exit_core(
             &self.handle.mutex.mem,
             self.handle.pid,
             &self.handle.mutex.probe,

@@ -7,7 +7,7 @@
 use sal_baselines::{LeeLock, McsLock, ScottLock, TournamentLock};
 use sal_core::long_lived::BoundedLongLivedLock;
 use sal_core::one_shot::OneShotLock;
-use sal_core::AbortableLock;
+use sal_core::{AbortableLock, DynLock, LockCore};
 use sal_memory::{AbortFlag, EpochMode, Mem, MemoryBuilder, NeverAbort};
 use sal_obs::NoProbe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,35 +16,39 @@ use std::sync::Arc;
 /// Run `threads` real threads × `passages` each over `lock`, counting
 /// CS entries with a plain (non-simulated) counter protected by the
 /// lock itself; returns (entered, aborted). Generic over the memory
-/// flavour: the same traffic runs on bare `RawMemory` or on the
-/// instrumented lock-free `CcMemory`.
-fn hammer<M: Mem + Send + Sync>(
-    lock: Arc<dyn AbortableLock>,
-    mem: Arc<M>,
+/// flavour AND the dispatch flavour: a concrete `L` runs the
+/// monomorphized `LockCore` path (no vtables anywhere on `RawMemory`),
+/// while [`DynLock`] runs the erased facade path — same driver, same
+/// invariant check.
+fn hammer_core<L, M>(
+    lock: &L,
+    mem: &M,
     threads: usize,
     passages: usize,
     abort_every: Option<usize>,
-) -> (u64, u64) {
+) -> (u64, u64)
+where
+    L: LockCore<M, NoProbe> + Sync,
+    M: Mem + Send + Sync,
+{
     // The protected counter lives OUTSIDE the lock's memory: a
     // non-atomic u64 cell we may only touch inside the CS. Any mutual
     // exclusion failure is UB caught as a lost update.
     struct Cell(std::cell::UnsafeCell<u64>);
     unsafe impl Sync for Cell {}
-    let counter = Arc::new(Cell(std::cell::UnsafeCell::new(0)));
-    let entered = Arc::new(AtomicU64::new(0));
-    let aborted = Arc::new(AtomicU64::new(0));
+    let counter = Cell(std::cell::UnsafeCell::new(0));
+    let entered = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
     // All threads start hammering together, or fast runs degenerate into
     // a sequence of solo passages with no contention at all.
-    let barrier = Arc::new(std::sync::Barrier::new(threads));
+    let barrier = std::sync::Barrier::new(threads);
 
     std::thread::scope(|s| {
+        let counter = &counter;
+        let entered = &entered;
+        let aborted = &aborted;
+        let barrier = &barrier;
         for p in 0..threads {
-            let lock = Arc::clone(&lock);
-            let mem = Arc::clone(&mem);
-            let counter = Arc::clone(&counter);
-            let entered = Arc::clone(&entered);
-            let aborted = Arc::clone(&aborted);
-            let barrier = Arc::clone(&barrier);
             s.spawn(move || {
                 barrier.wait();
                 for i in 0..passages {
@@ -54,9 +58,9 @@ fn hammer<M: Mem + Send + Sync>(
                         // Fire the signal after a tiny real-time delay
                         // from a helper knowing nothing of the lock.
                         flag.set();
-                        lock.enter(&*mem, p, &flag, &NoProbe).entered()
+                        lock.enter_core(mem, p, &flag, &NoProbe).entered()
                     } else {
-                        lock.enter(&*mem, p, &NeverAbort, &NoProbe).entered()
+                        lock.enter_core(mem, p, &NeverAbort, &NoProbe).entered()
                     };
                     if ok {
                         // Critical section: read-modify-write on the
@@ -68,7 +72,7 @@ fn hammer<M: Mem + Send + Sync>(
                             c.write(v + 1);
                         }
                         entered.fetch_add(1, Ordering::Relaxed);
-                        lock.exit(&*mem, p, &NoProbe);
+                        lock.exit_core(mem, p, &NoProbe);
                     } else {
                         aborted.fetch_add(1, Ordering::Relaxed);
                     }
@@ -86,6 +90,18 @@ fn hammer<M: Mem + Send + Sync>(
         entered.load(Ordering::Relaxed),
         aborted.load(Ordering::Relaxed),
     )
+}
+
+/// [`hammer_core`] through the type-erased facade: what every
+/// `Box<dyn AbortableLock>` user runs.
+fn hammer<M: Mem + Send + Sync>(
+    lock: Arc<dyn AbortableLock>,
+    mem: Arc<M>,
+    threads: usize,
+    passages: usize,
+    abort_every: Option<usize>,
+) -> (u64, u64) {
+    hammer_core(&DynLock(&*lock), &*mem, threads, passages, abort_every)
 }
 
 #[test]
@@ -112,6 +128,42 @@ fn bounded_long_lived_with_aborts_on_real_threads() {
     let (entered, aborted) = hammer(Arc::new(lock), mem, threads, 200, Some(3));
     assert_eq!(entered + aborted, 8 * 200);
     assert!(entered > 0);
+}
+
+#[test]
+fn bounded_long_lived_monomorphized_on_real_threads() {
+    // The same traffic as the dyn test above, but through the generic
+    // `LockCore` path on a concrete lock type: zero virtual calls on
+    // the whole passage. The lost-update invariant inside the driver
+    // must hold on this flavour too.
+    let threads = 8;
+    let mut b = MemoryBuilder::new();
+    let lock = BoundedLongLivedLock::layout(&mut b, threads, 8);
+    let mem = b.build_raw(threads);
+    let (entered, aborted) = hammer_core(&lock, &mem, threads, 300, None);
+    assert_eq!(entered, 8 * 300);
+    assert_eq!(aborted, 0);
+}
+
+#[test]
+fn mono_and_dyn_paths_both_preserve_the_cs_invariant() {
+    // Identical layouts, identical workloads (with aborts), one run per
+    // dispatch flavour; both must conserve passages — the lost-update
+    // assertion fires inside `hammer_core` for each.
+    let threads = 6;
+    let mut b = MemoryBuilder::new();
+    let mono_lock = BoundedLongLivedLock::layout(&mut b, threads, 8);
+    let mono_mem = b.build_raw(threads);
+    let (m_entered, m_aborted) = hammer_core(&mono_lock, &mono_mem, threads, 200, Some(3));
+    assert_eq!(m_entered + m_aborted, 6 * 200);
+    assert!(m_entered > 0);
+
+    let mut b = MemoryBuilder::new();
+    let dyn_lock: Arc<dyn AbortableLock> = Arc::new(BoundedLongLivedLock::layout(&mut b, threads, 8));
+    let dyn_mem = Arc::new(b.build_raw(threads));
+    let (d_entered, d_aborted) = hammer(dyn_lock, dyn_mem, threads, 200, Some(3));
+    assert_eq!(d_entered + d_aborted, 6 * 200);
+    assert!(d_entered > 0);
 }
 
 #[test]
