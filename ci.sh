@@ -27,5 +27,13 @@ cargo run --release -q -p sal-bench --bin simscale -- --smoke
 # hardware bench (writes BENCH_hwscale.json at the repo root) must run.
 cargo test --release -q -p sal-bench --test mono_equivalence
 cargo run --release -q -p sal-bench --bin hwscale -- --smoke
+# Conditional critical sections: the lock_when/await_when API and the
+# deadline abort path on real threads, plus the wakeup-storm bench
+# (writes BENCH_ccs.json; asserts evaluate < broadcast on prodcons and
+# the per-cell invariants internally). The SAL_LEASE=1 run keeps the
+# legacy per-step gate covered on the CCS suite too.
+cargo test --release -q -p sal-bench --test ccs_api --test deadline_locking
+SAL_LEASE=1 cargo test --release -q -p sal-bench --test ccs_api
+cargo run --release -q -p sal-bench --bin ccsscale -- --smoke
 cargo clippy -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

@@ -37,7 +37,7 @@ fn uncontended() {
     let iters = 1_000_000;
 
     {
-        let m = AbortableMutex::with_capacity(0u64, 2);
+        let m = AbortableMutex::builder(0u64).capacity(2).build();
         let mut h = m.handle();
         bench("abortable_mutex", iters, || {
             *h.lock() += 1;
@@ -69,7 +69,7 @@ fn contended() {
     let per_thread = 200_000u64;
     for &threads in &[2usize, 4, 8] {
         {
-            let m = Arc::new(AbortableMutex::with_capacity(0u64, threads));
+            let m = Arc::new(AbortableMutex::builder(0u64).capacity(threads).build());
             let start = Instant::now();
             std::thread::scope(|s| {
                 for _ in 0..threads {
@@ -111,7 +111,7 @@ fn abort_paths() {
     // Failed try-lock while another handle holds the lock: the paper's
     // bounded-abort property as wall-clock.
     {
-        let m = AbortableMutex::with_capacity(0u64, 2);
+        let m = AbortableMutex::builder(0u64).capacity(2).build();
         let mut holder = m.handle();
         let mut waiter = m.handle();
         let g = holder.lock();
@@ -123,7 +123,7 @@ fn abort_paths() {
 
     // Expired-deadline acquisition attempt on a held lock.
     {
-        let m = AbortableMutex::with_capacity(0u64, 2);
+        let m = AbortableMutex::builder(0u64).capacity(2).build();
         let mut holder = m.handle();
         let mut waiter = m.handle();
         let g = holder.lock();
@@ -136,7 +136,7 @@ fn abort_paths() {
 
     // Uncontended abortable acquisition (signal never fires).
     {
-        let m = AbortableMutex::with_capacity(0u64, 2);
+        let m = AbortableMutex::builder(0u64).capacity(2).build();
         let mut h = m.handle();
         bench("abortable_enter_no_signal", iters, || {
             let g = h.lock_abortable(&NeverAbort).unwrap();

@@ -189,8 +189,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let kind = match LockKind::parse(&args.lock, args.b) {
-        Ok(k) => k,
+    // The FromStr path shared by sweep/explore/hwscale, re-targeted to
+    // the CLI branching factor.
+    let kind = match args.lock.parse::<LockKind>() {
+        Ok(k) => k.with_branching(args.b),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);

@@ -1,7 +1,8 @@
 //! hwscale — native hardware mono-vs-dyn contention benchmark (M4).
 //!
 //! ```text
-//! cargo run --release -p sal-bench --bin hwscale -- [--smoke] [--duration-ms N]
+//! cargo run --release -p sal-bench --bin hwscale -- \
+//!     [--smoke] [--duration-ms N] [--lock NAME]
 //! ```
 //!
 //! Real OS threads hammer each lock over bare [`RawMemory`] for a fixed
@@ -28,8 +29,8 @@
 use sal_baselines::{LeeLock, McsLock, ScottLock, TasLock, TicketLock, TournamentLock};
 use sal_bench::{LockKind, Table};
 use sal_core::long_lived::{BoundedLongLivedLock, SimpleLongLivedLock};
-use sal_core::{AbortableLock, DynLock, LockCore};
-use sal_memory::{AbortFlag, MemoryBuilder, NeverAbort, RawMemory};
+use sal_core::{AbortableLock, DynLock, Immediate, LockCore};
+use sal_memory::{MemoryBuilder, NeverAbort, RawMemory};
 use sal_obs::{Histogram, Json, NoProbe, ToJson};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -142,9 +143,9 @@ where
                         let sample = i & 15 == 8;
                         let t0 = sample.then(Instant::now);
                         let ok = if want_abort {
-                            let flag = AbortFlag::new();
-                            flag.set();
-                            lock.enter_core(mem, p, &flag, &NoProbe).entered()
+                            // Pre-fired signal: abort at the first wait,
+                            // succeed if handed the lock before it.
+                            lock.enter_core(mem, p, &Immediate, &NoProbe).entered()
                         } else {
                             lock.enter_core(mem, p, &NeverAbort, &NoProbe).entered()
                         };
@@ -290,6 +291,7 @@ impl ToJson for CellRow {
 fn main() {
     let mut smoke = false;
     let mut duration_ms: Option<u64> = None;
+    let mut only: Option<LockKind> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -303,8 +305,25 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--lock" => {
+                // The FromStr path shared with sweep/explore — same
+                // NAMES-listing error on a bad name.
+                let name = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --lock needs a lock name");
+                    std::process::exit(2);
+                });
+                match name.parse::<LockKind>() {
+                    Ok(k) => only = Some(k),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
-                eprintln!("unknown flag {other}; usage: hwscale [--smoke] [--duration-ms N]");
+                eprintln!(
+                    "unknown flag {other}; usage: hwscale [--smoke] [--duration-ms N] [--lock NAME]"
+                );
                 std::process::exit(2);
             }
         }
@@ -313,7 +332,7 @@ fn main() {
     let duration = Duration::from_millis(duration_ms.unwrap_or(if smoke { 120 } else { 300 }));
     let budget: u64 = if smoke { 200_000 } else { 1_000_000 };
     let b = if smoke { 8 } else { 16 };
-    let kinds: Vec<LockKind> = if smoke {
+    let mut kinds: Vec<LockKind> = if smoke {
         vec![
             LockKind::Tas,
             LockKind::Mcs,
@@ -332,6 +351,17 @@ fn main() {
             LockKind::LongLived { b },
         ]
     };
+    if let Some(k) = only {
+        let k = k.with_branching(b);
+        if k.one_shot() {
+            eprintln!(
+                "error: one-shot kinds cannot sustain a fixed-duration loop; \
+                 pick a long-lived kind"
+            );
+            std::process::exit(2);
+        }
+        kinds = vec![k];
+    }
     let thread_counts: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8] };
     let abort_rates: &[Option<usize>] = &[None, Some(4)];
 

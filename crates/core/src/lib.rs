@@ -16,6 +16,11 @@
 //!   ([`long_lived::SimpleLongLivedLock`]) and as the bounded-space version
 //!   of §6.2 with instance recycling, versioned lazy reset, and spin-node
 //!   reclamation ([`long_lived::BoundedLongLivedLock`]).
+//! * [`abort`] / [`park`] — the production-surface support layer: the
+//!   always-fired [`abort::Immediate`] signal, the
+//!   [`abort::AbortReason`] vocabulary (deadline vs caller abort), and
+//!   the adaptive spin-then-park [`park::Waiter`] slot that `sal-sync`'s
+//!   conditional critical sections block on.
 //!
 //! All algorithms are written once, generically over the
 //! [`sal_memory::Mem`] primitive set (`read`/`write`/`CAS`/`F&A`), so they
@@ -41,9 +46,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod abort;
 pub mod lock;
 pub mod long_lived;
 pub mod one_shot;
+pub mod park;
 pub mod tree;
 
+pub use abort::{AbortReason, Immediate};
 pub use lock::{AbortableLock, DynLock, LockCore, LockMeta, Outcome};
+pub use park::{ParkResult, Waiter};

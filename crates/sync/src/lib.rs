@@ -19,6 +19,49 @@
 //! underlying algorithm is capacity-bounded (`O(N²)` words for `N`
 //! registered threads) and starvation-free.
 //!
+//! ## Conditional critical sections
+//!
+//! Beyond plain locking, the mutex offers the nsync/abseil
+//! conditional-critical-section interface: acquire the lock *when a
+//! predicate over the protected value holds*, with blocked waiters
+//! parked (spin-then-park) rather than spinning.
+//!
+//! * [`MutexHandle::lock_when`] — block until `pred(&data)` is true and
+//!   the lock is held;
+//! * [`MutexHandle::lock_when_for`] / [`MutexHandle::lock_when_until`]
+//!   (MutexHandle::lock_when_until) — the same with a deadline. The
+//!   deadline is injected as the paper's abort signal, so a waiter
+//!   whose deadline fires *while queued in the lock* abandons in a
+//!   bounded number of its own steps — a timeout CCS lock over the
+//!   bounded-RMR abort path;
+//! * [`MutexHandle::lock_when_abortable`] — caller-signal cancellation,
+//!   with [`AbortReason`] saying which limit ended an attempt;
+//! * [`MutexGuard::await_when`] (+ timed variants) — atomically release,
+//!   re-wait for a predicate, and re-acquire, while a guard is held.
+//!
+//! The mechanism is **unlock-side condition evaluation** ([`ccs`]
+//! module docs): waiters register their conditions, and each unlock
+//! evaluates them under the lock, waking only the waiters whose
+//! condition currently holds — one state transition wakes the
+//! satisfiable waiters, not the whole herd. The broadcast behaviour is
+//! available as [`WakePolicy::Broadcast`] (the measured baseline of the
+//! `ccsscale` bench).
+//!
+//! ```
+//! use sal_sync::AbortableMutex;
+//!
+//! let m = AbortableMutex::builder(Vec::<u32>::new()).capacity(2).build();
+//! let mut producer = m.handle();
+//! let mut consumer = m.handle();
+//! std::thread::scope(|s| {
+//!     s.spawn(move || producer.lock().push(7));
+//!     s.spawn(move || {
+//!         let q = consumer.lock_when(|q| !q.is_empty());
+//!         assert_eq!(q[0], 7);
+//!     });
+//! });
+//! ```
+//!
 //! ```
 //! use sal_sync::AbortableMutex;
 //! use std::time::Duration;
@@ -55,6 +98,9 @@
 
 #![warn(missing_docs)]
 
+pub mod ccs;
+
+use ccs::{CcsRegistry, Limit};
 use sal_core::long_lived::BoundedLongLivedLock;
 use sal_core::LockCore;
 use sal_memory::{AbortSignal, Deadline, Mem, MemoryBuilder, NeverAbort, Pid, RawMemory};
@@ -65,6 +111,8 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+pub use ccs::{CcsStats, WakePolicy};
+pub use sal_core::abort::{AbortReason, Immediate};
 pub use sal_memory::AbortFlag;
 
 /// Default thread capacity of [`AbortableMutex::new`] and
@@ -89,6 +137,7 @@ pub struct AbortableMutexBuilder<T, P: Probe = NoProbe> {
     value: T,
     capacity: usize,
     branching: usize,
+    wake_policy: WakePolicy,
     probe: P,
 }
 
@@ -109,6 +158,14 @@ impl<T, P: Probe> AbortableMutexBuilder<T, P> {
         self
     }
 
+    /// How unlocks treat conditional waiters: [`WakePolicy::Evaluate`]
+    /// (the default — wake only satisfiable waiters) or
+    /// [`WakePolicy::Broadcast`] (wake everyone; the measured baseline).
+    pub fn wake_policy(mut self, policy: WakePolicy) -> Self {
+        self.wake_policy = policy;
+        self
+    }
+
     /// Attach an observability sink: every passage of every handle
     /// reports lifecycle events to `probe`. Pass a clone of a shared
     /// sink handle (e.g. [`sal_obs::PassageStats`]) and keep the
@@ -118,6 +175,7 @@ impl<T, P: Probe> AbortableMutexBuilder<T, P> {
             value: self.value,
             capacity: self.capacity,
             branching: self.branching,
+            wake_policy: self.wake_policy,
             probe,
         }
     }
@@ -137,6 +195,7 @@ impl<T, P: Probe> AbortableMutexBuilder<T, P> {
             next_pid: AtomicUsize::new(0),
             capacity: self.capacity,
             probe: self.probe,
+            ccs: CcsRegistry::new(self.capacity, self.wake_policy),
             data: UnsafeCell::new(self.value),
         }
     }
@@ -158,6 +217,7 @@ pub struct AbortableMutex<T: ?Sized, P: Probe = NoProbe> {
     next_pid: AtomicUsize,
     capacity: usize,
     probe: P,
+    ccs: CcsRegistry<T>,
     data: UnsafeCell<T>,
 }
 
@@ -175,6 +235,7 @@ impl<T> AbortableMutex<T> {
             value,
             capacity: DEFAULT_CAPACITY,
             branching: DEFAULT_BRANCHING,
+            wake_policy: WakePolicy::default(),
             probe: NoProbe,
         }
     }
@@ -191,14 +252,14 @@ impl<T> AbortableMutex<T> {
     /// Create a mutex for up to `threads` registered threads
     /// (`1 ..= 1022`). Space is `O(threads²)` words, per Claim 28.
     ///
-    /// Retained shim, equivalent to `AbortableMutex::builder(value)
-    /// .capacity(threads).build()` — prefer the
-    /// [`builder`](Self::builder).
-    ///
     /// # Panics
     ///
     /// Panics if `threads` is 0 or exceeds the algorithm's descriptor
     /// capacity (1022).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AbortableMutex::builder(value).capacity(threads).build()`"
+    )]
     pub fn with_capacity(value: T, threads: usize) -> Self {
         Self::builder(value).capacity(threads).build()
     }
@@ -247,6 +308,42 @@ impl<T: ?Sized, P: Probe> AbortableMutex<T, P> {
     /// The attached probe sink.
     pub fn probe(&self) -> &P {
         &self.probe
+    }
+
+    /// The configured [`WakePolicy`] for conditional waiters.
+    pub fn wake_policy(&self) -> WakePolicy {
+        self.ccs.policy()
+    }
+
+    /// Number of threads currently blocked in a conditional wait
+    /// (`lock_when*` / `await_when*`) on this mutex.
+    pub fn waiters(&self) -> usize {
+        self.ccs.waiting()
+    }
+
+    /// Snapshot of the conditional-critical-section counters; see
+    /// [`CcsStats`] for the headline `wakeups / transitions` ratio.
+    pub fn ccs_stats(&self) -> CcsStats {
+        self.ccs.stats()
+    }
+
+    /// Release the lock held by `pid`, first evaluating registered
+    /// waiter conditions under the lock (the unlock-side evaluation at
+    /// the heart of the CCS design; [`ccs`] module docs). With no
+    /// registered waiters this is `exit_core` plus one relaxed load.
+    pub(crate) fn unlock_with_eval(&self, pid: Pid) {
+        if self.ccs.has_waiters() {
+            // Safety: the caller holds the lock, so the protected value
+            // is stable under our feet while conditions run.
+            let set = self.ccs.evaluate(pid, unsafe { &*self.data.get() });
+            self.lock.exit_core(&self.mem, pid, &self.probe);
+            let n = self.ccs.wake(&set);
+            if n > 0 {
+                self.probe.note(pid, "ccs-wake", n as u64);
+            }
+        } else {
+            self.lock.exit_core(&self.mem, pid, &self.probe);
+        }
     }
 }
 
@@ -345,17 +442,96 @@ impl<'m, T: ?Sized, P: Probe> MutexHandle<'m, T, P> {
     }
 
     /// One near-immediate attempt: give up as soon as the lock is
-    /// observed held. (Like the paper's `Enter` with a pre-fired signal:
-    /// if the lock is handed over before the first wait, the acquisition
-    /// still succeeds.)
+    /// observed held. (The paper's `Enter` with the pre-fired
+    /// [`Immediate`] signal: if the lock is handed over before the
+    /// first wait, the acquisition still succeeds.)
     pub fn try_lock(&mut self) -> Option<MutexGuard<'_, 'm, T, P>> {
-        struct Now;
-        impl AbortSignal for Now {
-            fn is_set(&self) -> bool {
-                true
-            }
+        self.lock_abortable(&Immediate)
+    }
+
+    /// Acquire the lock *when `pred` holds over the protected value* —
+    /// the conditional critical section of nsync's `LockWhen` /
+    /// abseil's `Mutex::LockWhen`.
+    ///
+    /// While `pred` is false the thread parks (spin-then-park); each
+    /// unlock evaluates the registered predicate under the lock and
+    /// wakes this waiter only once the predicate can succeed (under the
+    /// default [`WakePolicy::Evaluate`]). On return the guard is held
+    /// and `pred(&*guard)` is true.
+    ///
+    /// `pred` must be pure with respect to the protected value (it runs
+    /// under the lock, possibly on *other* threads' unlock paths — that
+    /// is why it must be `Sync`), and should be cheap: every unlocker
+    /// pays its cost while holding the lock.
+    pub fn lock_when<F>(&mut self, pred: F) -> MutexGuard<'_, 'm, T, P>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let r = ccs::lock_when_raw(self.mutex, self.pid, &pred, &Limit::<NeverAbort>::Forever);
+        debug_assert!(r.is_ok(), "unbounded lock_when cannot fail");
+        MutexGuard {
+            handle: self,
+            _marker: std::marker::PhantomData,
         }
-        self.lock_abortable(&Now)
+    }
+
+    /// [`lock_when`](Self::lock_when) with a timeout: gives up with
+    /// [`AbortReason::Deadline`] if `pred` did not hold (with the lock
+    /// acquirable) within `timeout`.
+    ///
+    /// The deadline is injected as the lock's abort signal, so a
+    /// deadline that fires while this thread is queued *inside* the
+    /// lock is honoured within a bounded number of its own steps — the
+    /// paper's bounded-RMR abort path, not a post-hoc check.
+    pub fn lock_when_for<F>(
+        &mut self,
+        pred: F,
+        timeout: Duration,
+    ) -> Result<MutexGuard<'_, 'm, T, P>, AbortReason>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.lock_when_until(pred, Instant::now() + timeout)
+    }
+
+    /// [`lock_when`](Self::lock_when) with an absolute deadline; see
+    /// [`lock_when_for`](Self::lock_when_for).
+    pub fn lock_when_until<F>(
+        &mut self,
+        pred: F,
+        deadline: Instant,
+    ) -> Result<MutexGuard<'_, 'm, T, P>, AbortReason>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        ccs::lock_when_raw(
+            self.mutex,
+            self.pid,
+            &pred,
+            &Limit::<NeverAbort>::Until(deadline),
+        )?;
+        Ok(MutexGuard {
+            handle: self,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// [`lock_when`](Self::lock_when) with caller-side cancellation:
+    /// gives up with [`AbortReason::Caller`] once `signal` fires. Pair
+    /// with an [`AbortFlag`] shared with a controller thread.
+    pub fn lock_when_abortable<F>(
+        &mut self,
+        pred: F,
+        signal: &(impl AbortSignal + ?Sized),
+    ) -> Result<MutexGuard<'_, 'm, T, P>, AbortReason>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        ccs::lock_when_raw(self.mutex, self.pid, &pred, &Limit::Signal(signal))?;
+        Ok(MutexGuard {
+            handle: self,
+            _marker: std::marker::PhantomData,
+        })
     }
 }
 
@@ -392,13 +568,57 @@ impl<T: ?Sized, P: Probe> DerefMut for MutexGuard<'_, '_, T, P> {
     }
 }
 
+impl<'m, T: ?Sized, P: Probe> MutexGuard<'_, 'm, T, P> {
+    /// Atomically release the lock, wait until `pred` holds over the
+    /// protected value, and re-acquire — nsync's `Await` / abseil's
+    /// `Mutex::Await`, for re-waiting in the middle of a critical
+    /// section. On return the lock is held (same guard) and
+    /// `pred(&*guard)` is true.
+    ///
+    /// If `pred` already holds, returns immediately without releasing.
+    pub fn await_when<F>(&mut self, pred: F)
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let m = self.handle.mutex;
+        let r = ccs::await_when_raw(m, self.handle.pid, &pred, &Limit::<NeverAbort>::Forever);
+        debug_assert!(r.is_ok(), "unbounded await_when cannot fail");
+    }
+
+    /// [`await_when`](Self::await_when) with a timeout (abseil
+    /// `AwaitWithTimeout` semantics): waits for `pred` at most
+    /// `timeout`, then re-acquires the lock *unconditionally* and
+    /// returns whether `pred` held at the final, lock-held check. The
+    /// lock is held on return either way — the guard stays valid.
+    pub fn await_when_for<F>(&mut self, pred: F, timeout: Duration) -> bool
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.await_when_until(pred, Instant::now() + timeout)
+    }
+
+    /// [`await_when_for`](Self::await_when_for) with an absolute
+    /// deadline.
+    pub fn await_when_until<F>(&mut self, pred: F, deadline: Instant) -> bool
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let m = self.handle.mutex;
+        ccs::await_when_raw(
+            m,
+            self.handle.pid,
+            &pred,
+            &Limit::<NeverAbort>::Until(deadline),
+        )
+        .is_ok()
+    }
+}
+
 impl<T: ?Sized, P: Probe> Drop for MutexGuard<'_, '_, T, P> {
     fn drop(&mut self) {
-        self.handle.mutex.lock.exit_core(
-            &self.handle.mutex.mem,
-            self.handle.pid,
-            &self.handle.mutex.probe,
-        );
+        self.handle
+            .mutex
+            .unlock_with_eval(self.handle.pid);
     }
 }
 
@@ -416,7 +636,7 @@ mod tests {
 
     #[test]
     fn basic_lock_unlock_mutates_data() {
-        let m = AbortableMutex::with_capacity(vec![1, 2], 2);
+        let m = AbortableMutex::builder(vec![1, 2]).capacity(2).build();
         let mut h = m.handle();
         h.lock().push(3);
         assert_eq!(*h.lock(), vec![1, 2, 3]);
@@ -425,7 +645,7 @@ mod tests {
 
     #[test]
     fn counter_integrity_under_real_threads() {
-        let m = Arc::new(AbortableMutex::with_capacity(0u64, 9));
+        let m = Arc::new(AbortableMutex::builder(0u64).capacity(9).build());
         let threads: Vec<_> = (0..8)
             .map(|_| {
                 let m = Arc::clone(&m);
@@ -446,7 +666,7 @@ mod tests {
 
     #[test]
     fn timeout_abandons_a_held_lock() {
-        let m = AbortableMutex::with_capacity((), 2);
+        let m = AbortableMutex::builder(()).capacity(2).build();
         let mut h0 = m.handle();
         let mut h1 = m.handle();
         let _g = h0.lock();
@@ -457,7 +677,7 @@ mod tests {
 
     #[test]
     fn flag_cancellation_unblocks_a_waiter() {
-        let m = Arc::new(AbortableMutex::with_capacity(0u32, 2));
+        let m = Arc::new(AbortableMutex::builder(0u32).capacity(2).build());
         let flag = AbortFlag::new();
         let waiting = Arc::new(AtomicBool::new(false));
         let mut holder = m.handle();
@@ -484,7 +704,7 @@ mod tests {
 
     #[test]
     fn try_lock_fails_fast_when_held_and_succeeds_when_free() {
-        let m = AbortableMutex::with_capacity((), 3);
+        let m = AbortableMutex::builder(()).capacity(3).build();
         let mut a = m.handle();
         let mut b = m.handle();
         {
@@ -497,14 +717,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity")]
     fn over_registration_panics() {
-        let m = AbortableMutex::with_capacity((), 1);
+        let m = AbortableMutex::builder(()).capacity(1).build();
         let _a = m.handle();
         let _b = m.handle();
     }
 
     #[test]
     fn contended_timed_locking_with_many_threads() {
-        let m = Arc::new(AbortableMutex::with_capacity(0u64, 8));
+        let m = Arc::new(AbortableMutex::builder(0u64).capacity(8).build());
         let acquired = Arc::new(AtomicUsize::new(0));
         let aborted = Arc::new(AtomicUsize::new(0));
         let threads: Vec<_> = (0..8)

@@ -18,8 +18,8 @@ use std::time::Duration;
 const TRANSFERS_PER_AGENT: usize = 50;
 
 fn main() {
-    let account_a = Arc::new(AbortableMutex::with_capacity(1_000i64, 3));
-    let account_b = Arc::new(AbortableMutex::with_capacity(1_000i64, 3));
+    let account_a = Arc::new(AbortableMutex::builder(1_000i64).capacity(3).build());
+    let account_b = Arc::new(AbortableMutex::builder(1_000i64).capacity(3).build());
     let deadlocks_broken = Arc::new(AtomicUsize::new(0));
 
     let agents: Vec<_> = (0..2)

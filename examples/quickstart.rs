@@ -14,7 +14,7 @@ fn main() {
     // A mutex guarding a value, sized for 4 participating threads.
     // Under the hood: the PODC'18 bounded long-lived abortable lock over
     // plain AtomicU64s, O(threads²) words, starvation-free.
-    let counter = Arc::new(AbortableMutex::with_capacity(0u64, 8));
+    let counter = Arc::new(AbortableMutex::builder(0u64).capacity(8).build());
 
     // --- 1. Blocking acquisition, std::sync::Mutex style ---------------
     {

@@ -31,7 +31,7 @@ fn main() {
         (0..CHUNKS)
             .map(|id| Chunk {
                 id,
-                mutex: AbortableMutex::with_capacity(UNITS_PER_CHUNK, WORKERS + 1),
+                mutex: AbortableMutex::builder(UNITS_PER_CHUNK).capacity(WORKERS + 1).build(),
             })
             .collect(),
     );

@@ -7,7 +7,7 @@
 use sal_baselines::{LeeLock, McsLock, ScottLock, TournamentLock};
 use sal_core::long_lived::BoundedLongLivedLock;
 use sal_core::one_shot::OneShotLock;
-use sal_core::{AbortableLock, DynLock, LockCore};
+use sal_core::{AbortableLock, DynLock, Immediate, LockCore};
 use sal_memory::{AbortFlag, EpochMode, Mem, MemoryBuilder, NeverAbort};
 use sal_obs::NoProbe;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -182,11 +182,9 @@ fn aborts_fire_while_the_lock_is_demonstrably_held() {
                 let lock = Arc::clone(&lock);
                 let mem = Arc::clone(&mem);
                 s.spawn(move || {
-                    let flag = AbortFlag::new();
-                    flag.set();
                     let mut aborts = 0u64;
                     for _ in 0..50 {
-                        if !lock.enter(&*mem, p, &flag) {
+                        if !lock.enter(&*mem, p, &Immediate) {
                             aborts += 1;
                         } else {
                             lock.exit(&*mem, p); // impossible while held, but keep the protocol legal
