@@ -35,5 +35,16 @@ cargo run --release -q -p sal-bench --bin hwscale -- --smoke
 cargo test --release -q -p sal-bench --test ccs_api --test deadline_locking
 SAL_LEASE=1 cargo test --release -q -p sal-bench --test ccs_api
 cargo run --release -q -p sal-bench --bin ccsscale -- --smoke
+# Async surface: resumable enter core + AsyncAbortableMutex, where
+# dropping a pending lock future runs the bounded abort. The harness
+# cancels at every poll depth and the storm bench (writes
+# BENCH_async.json at the repo root) asserts the ≤300-op abort bound
+# and zero leakage. Run under the default and the SAL_LEASE=1 legacy
+# gate like the CCS suite. Unsafe code in the waker plumbing is held to
+# clippy::undocumented_unsafe_blocks (enforced via the workspace lints
+# through `cargo clippy -- -D warnings` below).
+cargo test --release -q -p sal-bench --test async_mutex --test async_cancellation
+SAL_LEASE=1 cargo test --release -q -p sal-bench --test async_mutex --test async_cancellation
+cargo run --release -q -p sal-bench --bin asyncscale -- --smoke
 cargo clippy -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

@@ -21,6 +21,12 @@
 //!   [`abort::AbortReason`] vocabulary (deadline vs caller abort), and
 //!   the adaptive spin-then-park [`park::Waiter`] slot that `sal-sync`'s
 //!   conditional critical sections block on.
+//! * [`resume`] — the enter protocol as resumable, sans-IO state
+//!   machines ([`resume::EnterMachine`]): every blocking wait becomes an
+//!   [`resume::EnterStep::Pending`] poll result, making the spinning
+//!   entry points one driver among several (spin, park, or async
+//!   wakers — `sal_sync::AsyncAbortableMutex` turns future cancellation
+//!   into the paper's bounded abort through this interface).
 //!
 //! All algorithms are written once, generically over the
 //! [`sal_memory::Mem`] primitive set (`read`/`write`/`CAS`/`F&A`), so they
@@ -51,8 +57,10 @@ pub mod lock;
 pub mod long_lived;
 pub mod one_shot;
 pub mod park;
+pub mod resume;
 pub mod tree;
 
 pub use abort::{AbortReason, Immediate};
 pub use lock::{AbortableLock, DynLock, LockCore, LockMeta, Outcome};
 pub use park::{ParkResult, Waiter};
+pub use resume::{EnterMachine, EnterStep, OneShotEnterMachine, WaitKind, WaitToken};

@@ -41,6 +41,19 @@
 //! a `LockCore` over every memory type — so generic drivers (the
 //! harness, the `hwscale` bench) run both dispatch flavours through
 //! one code path.
+//!
+//! # Blocking vs. resumable
+//!
+//! `enter_core` blocks (busy-waits) until the passage resolves — that
+//! is the model the RMR bounds are stated in. Underneath, the paper
+//! locks express the same protocol as resumable state machines
+//! ([`crate::resume`]): `enter_core` is the tight-loop driver of
+//! [`poll_enter`](crate::long_lived::BoundedLongLivedLock::poll_enter),
+//! and non-blocking drivers (async tasks parking on wakers, the
+//! spin-then-park [`Waiter`](crate::park::Waiter)) poll the identical
+//! machine at their own cadence. Equivalence of the two is pinned by
+//! `tests/mono_equivalence.rs`: the routing through the machine leaves
+//! every simulator artifact byte-identical.
 
 use sal_memory::{AbortSignal, Mem, Pid};
 use sal_obs::Probe;

@@ -33,6 +33,7 @@ use super::spin_pool::SpinNodePool;
 use super::versioned::VersionedInstance;
 use crate::lock::{LockCore, LockMeta, Outcome};
 use crate::one_shot::OneShotLock;
+use crate::resume::{BoundedEnterState, EnterMachine, EnterStep, WaitKind, WaitToken};
 use crate::tree::Ascent;
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordId};
 use sal_obs::{probed, NoProbe, Probe};
@@ -223,33 +224,132 @@ impl BoundedLongLivedLock {
         S: AbortSignal + ?Sized,
         P: Probe + ?Sized,
     {
-        let old_epoch = self.locals[pid].lock().unwrap().old_epoch;
-        let d = TaggedDesc::unpack(mem.read(pid, self.desc)); // line 57
-        if Some(d.epoch()) == old_epoch {
-            // lines 58–61, with hazard-style pinning: announce the node,
-            // re-validate the epoch, and only then spin.
-            self.spins.announce(mem, pid, d.spn);
-            let d2 = TaggedDesc::unpack(mem.read(pid, self.desc));
-            if d2.epoch() == d.epoch() {
-                PathStats::bump(&self.stats.spin_waits);
-                while mem.read(pid, self.spins.go_word(d.spn)) == 0 {
-                    if signal.is_set() {
-                        self.spins.clear_announce(mem, pid);
-                        return false;
+        // Tight-loop driver of the resumable machine: a Pending poll
+        // performed exactly one watched-word read (plus one signal
+        // check), so re-polling immediately reproduces the blocking
+        // spin loops of Figure 5 / Figure 1 operation for operation.
+        let mut machine = self.begin_enter();
+        loop {
+            match self.poll_enter(&mut machine, mem, pid, signal, probe) {
+                EnterStep::Acquired { .. } => return true,
+                EnterStep::Aborted { .. } => return false,
+                EnterStep::Pending(_) => {}
+            }
+        }
+    }
+
+    /// Begin a resumable `Enter`: no shared-memory operation happens
+    /// until the first [`poll_enter`](Self::poll_enter) call. See
+    /// [`crate::resume`] for the machine contract — in particular the
+    /// obligation to drive a machine past the doorway
+    /// ([`EnterMachine::in_queue`]) to resolution.
+    pub fn begin_enter(&self) -> EnterMachine {
+        EnterMachine::new()
+    }
+
+    /// Advance a resumable `Enter` by one poll.
+    ///
+    /// A poll runs as much of Algorithm 6.1 (+ §6.2 spin-node pinning)
+    /// as it can without waiting: the first poll reads the descriptor,
+    /// performs the epoch announce/re-validate when it applies, and —
+    /// when no wait blocks it — continues straight through the doorway
+    /// F&A into the one-shot instance. At either blocking point
+    /// ([`WaitKind::EpochSpin`], [`WaitKind::QueueSpin`]) a poll
+    /// performs one read of the watched word, then one signal check if
+    /// it was zero, and returns [`EnterStep::Pending`]. Abort paths
+    /// (epoch-wait unpinning; one-shot abort + `Cleanup`) run to
+    /// completion within the poll that observes the signal, so an
+    /// [`EnterStep::Aborted`] machine has released every queue node and
+    /// reference it took — the paper's bounded abort.
+    ///
+    /// `probe` receives the `"instance-switch"` note if this poll's
+    /// cleanup wins the descriptor CAS; per-operation observability is
+    /// the memory's business (pass a [`probed`] wrapper as `mem`), and
+    /// passage lifecycle hooks are the driver's (as in
+    /// [`enter_probed`](Self::enter_probed)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if polled again after resolving.
+    pub fn poll_enter<M, S, P>(
+        &self,
+        machine: &mut EnterMachine,
+        mem: &M,
+        pid: Pid,
+        signal: &S,
+        probe: &P,
+    ) -> EnterStep
+    where
+        M: Mem + ?Sized,
+        S: AbortSignal + ?Sized,
+        P: Probe + ?Sized,
+    {
+        loop {
+            match machine.st {
+                BoundedEnterState::Start => {
+                    let old_epoch = self.locals[pid].lock().unwrap().old_epoch;
+                    let d = TaggedDesc::unpack(mem.read(pid, self.desc)); // line 57
+                    if Some(d.epoch()) == old_epoch {
+                        // lines 58–61, with hazard-style pinning:
+                        // announce the node, re-validate the epoch, and
+                        // only then spin.
+                        self.spins.announce(mem, pid, d.spn);
+                        let d2 = TaggedDesc::unpack(mem.read(pid, self.desc));
+                        if d2.epoch() == d.epoch() {
+                            PathStats::bump(&self.stats.spin_waits);
+                            machine.st = BoundedEnterState::EpochWait { spn: d.spn };
+                        } else {
+                            PathStats::bump(&self.stats.spin_revalidation_skips);
+                            self.spins.clear_announce(mem, pid);
+                            machine.st = BoundedEnterState::Doorway;
+                        }
+                    } else {
+                        machine.st = BoundedEnterState::Doorway;
                     }
                 }
-            } else {
-                PathStats::bump(&self.stats.spin_revalidation_skips);
+                BoundedEnterState::EpochWait { spn } => {
+                    let go = self.spins.go_word(spn);
+                    if mem.read(pid, go) == 0 {
+                        if signal.is_set() {
+                            self.spins.clear_announce(mem, pid);
+                            machine.st = BoundedEnterState::Done;
+                            return EnterStep::Aborted { ticket: None };
+                        }
+                        return EnterStep::Pending(WaitToken::new(go, WaitKind::EpochSpin));
+                    }
+                    self.spins.clear_announce(mem, pid);
+                    machine.st = BoundedEnterState::Doorway;
+                }
+                BoundedEnterState::Doorway => {
+                    let d = TaggedDesc::unpack(mem.faa(pid, self.desc, 1)); // line 62
+                    machine.st = BoundedEnterState::Queue {
+                        inst: d.lock,
+                        inner: self.proto.begin_enter(),
+                    };
+                }
+                BoundedEnterState::Queue { inst, ref mut inner } => {
+                    // Recreate the instance view each poll: machines
+                    // hold indices, not memory borrows.
+                    let view = self.instances[inst as usize].view(mem);
+                    // line 63, one poll at a time.
+                    match self.proto.poll_enter(inner, &view, pid, signal) {
+                        EnterStep::Acquired { .. } => {
+                            machine.st = BoundedEnterState::Done;
+                            return EnterStep::Acquired { ticket: None };
+                        }
+                        EnterStep::Aborted { .. } => {
+                            self.cleanup(mem, pid, probe); // lines 64–65
+                            machine.st = BoundedEnterState::Done;
+                            return EnterStep::Aborted { ticket: None };
+                        }
+                        EnterStep::Pending(token) => return EnterStep::Pending(token),
+                    }
+                }
+                BoundedEnterState::Done => {
+                    panic!("bounded enter machine polled after resolving")
+                }
             }
-            self.spins.clear_announce(mem, pid);
         }
-        let d = TaggedDesc::unpack(mem.faa(pid, self.desc, 1)); // line 62
-        let inst = self.instances[d.lock as usize].view(mem);
-        let completed = self.proto.enter(&inst, pid, signal).entered(); // line 63
-        if !completed {
-            self.cleanup(mem, pid, probe); // lines 64–65
-        }
-        completed
     }
 
     /// `Exit()` (Algorithm 6.2).

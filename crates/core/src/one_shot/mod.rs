@@ -28,6 +28,7 @@ mod dsm;
 pub use dsm::DsmOneShotLock;
 
 use crate::lock::{LockCore, LockMeta, Outcome};
+use crate::resume::{EnterStep, OneShotEnterMachine, OneShotEnterState, WaitKind, WaitToken};
 use crate::tree::{Ascent, FindNextResult, Tree};
 use sal_memory::{AbortSignal, Mem, MemoryBuilder, Pid, WordArray, WordId};
 use sal_obs::{probed, Probe};
@@ -152,22 +153,89 @@ impl OneShotLock {
         M: Mem + ?Sized,
         S: AbortSignal + ?Sized,
     {
-        let i = mem.faa(pid, self.tail, 1); // line 1: the FCFS doorway
-        assert!(
-            (i as usize) < self.n,
-            "one-shot lock capacity {} exceeded (ticket {i})",
-            self.n
-        );
-        while mem.read(pid, self.go.at(i as usize)) == 0 {
+        // The blocking enter is the tight-loop driver of the resumable
+        // machine: a Pending poll performed exactly one `go` read (and
+        // one signal check), so this loop IS the paper's spin wait,
+        // operation for operation.
+        let mut machine = self.begin_enter();
+        loop {
+            match self.poll_enter(&mut machine, mem, pid, signal) {
+                EnterStep::Acquired { ticket } => {
+                    return EnterOutcome::Entered {
+                        ticket: ticket.expect("one-shot machine reports its ticket"),
+                    }
+                }
+                EnterStep::Aborted { ticket } => {
+                    return EnterOutcome::Aborted {
+                        ticket: ticket.expect("one-shot machine reports its ticket"),
+                    }
+                }
+                EnterStep::Pending(_) => {}
+            }
+        }
+    }
+
+    /// Begin a resumable `Enter`: no shared-memory operation happens
+    /// until the first [`poll_enter`](Self::poll_enter) call. See
+    /// [`crate::resume`] for the machine contract.
+    pub fn begin_enter(&self) -> OneShotEnterMachine {
+        OneShotEnterMachine::new()
+    }
+
+    /// Advance a resumable `Enter` by one poll: runs the doorway F&A on
+    /// the first call, then one `go`-word check per call (lines 1–6 of
+    /// Algorithm 3.1, with the line-2 spin cut at every iteration).
+    /// Aborts (lines 3–5) run to completion within the poll that
+    /// observes the signal — an [`EnterStep::Aborted`] machine has
+    /// nothing left to clean up.
+    ///
+    /// # Panics
+    ///
+    /// Panics on capacity overflow (as [`enter`](Self::enter)) and if
+    /// polled again after resolving.
+    pub fn poll_enter<M, S>(
+        &self,
+        machine: &mut OneShotEnterMachine,
+        mem: &M,
+        pid: Pid,
+        signal: &S,
+    ) -> EnterStep
+    where
+        M: Mem + ?Sized,
+        S: AbortSignal + ?Sized,
+    {
+        let ticket = match machine.st {
+            OneShotEnterState::Doorway => {
+                let i = mem.faa(pid, self.tail, 1); // line 1: the FCFS doorway
+                assert!(
+                    (i as usize) < self.n,
+                    "one-shot lock capacity {} exceeded (ticket {i})",
+                    self.n
+                );
+                machine.st = OneShotEnterState::Waiting { ticket: i };
+                i
+            }
+            OneShotEnterState::Waiting { ticket } => ticket,
+            OneShotEnterState::Done => panic!("one-shot enter machine polled after resolving"),
+        };
+        let go = self.go.at(ticket as usize);
+        if mem.read(pid, go) == 0 {
             // line 2
             if signal.is_set() {
                 // lines 3–5
-                self.abort(mem, pid, i);
-                return EnterOutcome::Aborted { ticket: i };
+                self.abort(mem, pid, ticket);
+                machine.st = OneShotEnterState::Done;
+                return EnterStep::Aborted {
+                    ticket: Some(ticket),
+                };
             }
+            return EnterStep::Pending(WaitToken::new(go, WaitKind::QueueSpin));
         }
-        mem.write(pid, self.head, i); // line 6
-        EnterOutcome::Entered { ticket: i }
+        mem.write(pid, self.head, ticket); // line 6
+        machine.st = OneShotEnterState::Done;
+        EnterStep::Acquired {
+            ticket: Some(ticket),
+        }
     }
 
     /// [`enter`](Self::enter) with passage observability: fires

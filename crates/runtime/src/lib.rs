@@ -30,6 +30,12 @@
 //!   ([`par_map_indexed`], [`run_jobs`]) that fans independent
 //!   simulations out over worker threads and gathers results by index,
 //!   so parallel experiment output is byte-identical to serial.
+//! * [`executor`] — a dependency-free mini async executor
+//!   ([`executor::block_on`], [`executor::Executor`],
+//!   [`executor::sleep_until`]) for driving
+//!   `sal_sync::AsyncAbortableMutex` futures in tests and benches:
+//!   FIFO task queue over worker threads, hand-rolled waker vtable,
+//!   one global timer thread.
 //!
 //! ## Example: 4 processes race for the one-shot lock
 //!
@@ -54,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod events;
+pub mod executor;
 mod explore;
 mod gate;
 mod harness;
@@ -64,6 +71,7 @@ mod schedule;
 mod sim;
 
 pub use events::{Event, EventKind, EventLog, FcfsViolation, MutexViolation};
+pub use executor::{block_on, Executor};
 pub use explore::{explore, ExplorationResult, ExploreOptions, ForcedSchedule};
 pub use gate::{stepped, StepGate, StepLayer, SteppedMem};
 pub use harness::{

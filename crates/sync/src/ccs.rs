@@ -58,10 +58,12 @@
 use crate::AbortableMutex;
 use sal_core::park::{ParkResult, Waiter};
 use sal_core::{AbortReason, LockCore};
-use sal_memory::{AbortSignal, Deadline, NeverAbort, Pid};
+use sal_memory::{AbortSignal, NeverAbort, Pid};
 use sal_obs::Probe;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::task::Waker;
 use std::time::{Duration, Instant};
 
 /// Slot states — see the module docs for the transition diagram.
@@ -143,6 +145,12 @@ struct Slot<T: ?Sized> {
     cond: UnsafeCell<Option<StoredCond<T>>>,
     /// The parking slot the registered waiter blocks on.
     waiter: Waiter,
+    /// An async waiter's waker, fired by [`CcsRegistry::wake`] in
+    /// addition to the unpark (a registration belongs to either a
+    /// parked thread or a suspended task, never both; the spare
+    /// mechanism is a no-op). The mutex is uncontended in practice —
+    /// the owning pid stores, an unlocker takes.
+    waker: Mutex<Option<Waker>>,
 }
 
 impl<T: ?Sized> Slot<T> {
@@ -151,6 +159,7 @@ impl<T: ?Sized> Slot<T> {
             state: AtomicU8::new(VACANT),
             cond: UnsafeCell::new(None),
             waiter: Waiter::new(),
+            waker: Mutex::new(None),
         }
     }
 }
@@ -262,8 +271,11 @@ impl<T: ?Sized> CcsRegistry<T> {
 
     /// Register `cond` for `pid`. Caller must hold the lock (that is
     /// what makes registration race-free against state transitions) and
-    /// must deregister before `cond`'s borrow ends.
-    fn register<'a>(&self, pid: Pid, cond: &'a (dyn Fn(&T) -> bool + 'a)) {
+    /// must deregister before `cond`'s borrow ends. `pub(crate)` for the
+    /// async conditional waits, whose registration windows span polls
+    /// (their condition lives in a `Box` inside the future, so the
+    /// borrow outlives the window even if the future is leaked).
+    pub(crate) fn register<'a>(&self, pid: Pid, cond: &'a (dyn Fn(&T) -> bool + 'a)) {
         let slot = &self.slots[pid];
         debug_assert_eq!(slot.state.load(Ordering::Relaxed), VACANT);
         let ptr: *const (dyn Fn(&T) -> bool + 'a) = cond;
@@ -282,7 +294,7 @@ impl<T: ?Sized> CcsRegistry<T> {
     /// Remove `pid`'s registration; returns whether a notification had
     /// been delivered (and is hereby consumed). Callable without the
     /// lock; spins out any in-flight evaluation of this slot first.
-    fn deregister(&self, pid: Pid) -> bool {
+    pub(crate) fn deregister(&self, pid: Pid) -> bool {
         let slot = &self.slots[pid];
         let notified = loop {
             match slot.state.compare_exchange(
@@ -305,8 +317,32 @@ impl<T: ?Sized> CcsRegistry<T> {
         unsafe {
             *slot.cond.get() = None;
         }
+        // Drop any unfired waker so a dead registration cannot be woken
+        // later (and does not pin its task's allocation alive).
+        slot.waker.lock().unwrap().take();
         self.waiting.fetch_sub(1, Ordering::SeqCst);
         notified
+    }
+
+    /// Store the waker an async waiter wants fired when its condition
+    /// is satisfied. Call after [`register`](Self::register) and before
+    /// releasing the lock (same race-freedom argument: any future
+    /// evaluation happens-after).
+    pub(crate) fn set_waker(&self, pid: Pid, waker: &Waker) {
+        let mut slot = self.slots[pid].waker.lock().unwrap();
+        *slot = Some(waker.clone());
+    }
+
+    /// Bump the park-episode counter (async waits count one per
+    /// registration window, mirroring the sync park episodes).
+    pub(crate) fn note_wait(&self) {
+        self.waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bump the futile-wakeup counter (a waiter woken only to find its
+    /// predicate false again).
+    pub(crate) fn note_futile(&self) {
+        self.futile.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Evaluate registered conditions against `data` (the unlocker must
@@ -370,6 +406,9 @@ impl<T: ?Sized> CcsRegistry<T> {
         for (i, slot) in self.slots.iter().enumerate() {
             if set.contains(i) {
                 slot.waiter.unpark();
+                if let Some(w) = slot.waker.lock().unwrap().take() {
+                    w.wake();
+                }
                 n += 1;
             }
         }
@@ -442,7 +481,7 @@ impl<S: AbortSignal + ?Sized> Limit<'_, S> {
                 .entered(),
             Limit::Until(t) => m
                 .lock
-                .enter_core(&m.mem, pid, &Deadline::at(*t), &m.probe)
+                .enter_core(&m.mem, pid, &crate::deadline_signal(*t), &m.probe)
                 .entered(),
             Limit::Signal(s) => m.lock.enter_core(&m.mem, pid, s, &m.probe).entered(),
         };

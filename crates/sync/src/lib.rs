@@ -47,6 +47,15 @@
 //! available as [`WakePolicy::Broadcast`] (the measured baseline of the
 //! `ccsscale` bench).
 //!
+//! ## Async locking
+//!
+//! [`AsyncAbortableMutex`] is the same lock behind poll-based futures:
+//! `lock().await` suspends the task instead of spinning the thread, and
+//! **dropping a pending lock future is an abort** — cancellation runs
+//! the paper's bounded abort path in the dropping task's own poll, so
+//! `select!`-style timeouts compose with the lock for free. See the
+//! [`async_mutex`] module docs.
+//!
 //! ```
 //! use sal_sync::AbortableMutex;
 //!
@@ -98,6 +107,7 @@
 
 #![warn(missing_docs)]
 
+pub mod async_mutex;
 pub mod ccs;
 
 use ccs::{CcsRegistry, Limit};
@@ -111,6 +121,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+pub use async_mutex::{AsyncAbortableMutex, AsyncMutexGuard, AsyncStats};
 pub use ccs::{CcsStats, WakePolicy};
 pub use sal_core::abort::{AbortReason, Immediate};
 pub use sal_memory::AbortFlag;
@@ -118,6 +129,23 @@ pub use sal_memory::AbortFlag;
 /// Default thread capacity of [`AbortableMutex::new`] and
 /// [`AbortableMutex::builder`].
 pub const DEFAULT_CAPACITY: usize = 64;
+
+/// Every deadline-bound entry point — [`MutexHandle::try_lock_until`],
+/// [`MutexHandle::lock_when_until`] (via [`ccs::Limit`]), and the async
+/// `lock_deadline`/`lock_when_deadline` — builds its abort signal here,
+/// so "deadline → abort signal" has exactly one definition: the
+/// deadline is injected as the lock's abort signal and honoured on the
+/// paper's bounded-RMR abort path, not checked post hoc.
+pub(crate) fn deadline_signal(at: Instant) -> Deadline {
+    Deadline::at(at)
+}
+
+/// Relative-timeout entry points (`*_for` / `*_timeout`) resolve to an
+/// absolute deadline exactly once, here, so the timeout and deadline
+/// variants of each method cannot drift apart.
+pub(crate) fn timeout_deadline(timeout: Duration) -> Instant {
+    Instant::now() + timeout
+}
 
 /// Default branching factor of the underlying `W`-ary tree.
 const DEFAULT_BRANCHING: usize = 64;
@@ -249,20 +277,6 @@ impl<T> AbortableMutex<T> {
         Self::builder(value).build()
     }
 
-    /// Create a mutex for up to `threads` registered threads
-    /// (`1 ..= 1022`). Space is `O(threads²)` words, per Claim 28.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads` is 0 or exceeds the algorithm's descriptor
-    /// capacity (1022).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `AbortableMutex::builder(value).capacity(threads).build()`"
-    )]
-    pub fn with_capacity(value: T, threads: usize) -> Self {
-        Self::builder(value).capacity(threads).build()
-    }
 }
 
 impl<T, P: Probe> AbortableMutex<T, P> {
@@ -433,12 +447,12 @@ impl<'m, T: ?Sized, P: Probe> MutexHandle<'m, T, P> {
 
     /// Acquire unless `timeout` elapses first.
     pub fn try_lock_for(&mut self, timeout: Duration) -> Option<MutexGuard<'_, 'm, T, P>> {
-        self.lock_abortable(&Deadline::after(timeout))
+        self.try_lock_until(timeout_deadline(timeout))
     }
 
     /// Acquire unless the deadline passes first.
     pub fn try_lock_until(&mut self, deadline: Instant) -> Option<MutexGuard<'_, 'm, T, P>> {
-        self.lock_abortable(&Deadline::at(deadline))
+        self.lock_abortable(&deadline_signal(deadline))
     }
 
     /// One near-immediate attempt: give up as soon as the lock is
@@ -491,7 +505,7 @@ impl<'m, T: ?Sized, P: Probe> MutexHandle<'m, T, P> {
     where
         F: Fn(&T) -> bool + Sync,
     {
-        self.lock_when_until(pred, Instant::now() + timeout)
+        self.lock_when_until(pred, timeout_deadline(timeout))
     }
 
     /// [`lock_when`](Self::lock_when) with an absolute deadline; see
@@ -594,7 +608,7 @@ impl<'m, T: ?Sized, P: Probe> MutexGuard<'_, 'm, T, P> {
     where
         F: Fn(&T) -> bool + Sync,
     {
-        self.await_when_until(pred, Instant::now() + timeout)
+        self.await_when_until(pred, timeout_deadline(timeout))
     }
 
     /// [`await_when_for`](Self::await_when_for) with an absolute
