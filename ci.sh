@@ -46,5 +46,19 @@ cargo run --release -q -p sal-bench --bin ccsscale -- --smoke
 cargo test --release -q -p sal-bench --test async_mutex --test async_cancellation
 SAL_LEASE=1 cargo test --release -q -p sal-bench --test async_mutex --test async_cancellation
 cargo run --release -q -p sal-bench --bin asyncscale -- --smoke
+# Keyed lock arena: the inline-word protocol is model-checked over
+# every interleaving (arena_protocol), the public surface stressed on
+# real threads (arena_api + the sal-sync unit suite), both under the
+# default config and the SAL_LEASE=1 legacy gate. The arenascale smoke
+# (writes BENCH_arena.json at the repo root) asserts per-cell
+# lost-update and zero-leak invariants internally; the greps below pin
+# that the artifact actually records the resident-object bounds.
+cargo test --release -q -p sal-bench --test arena_protocol --test arena_api
+SAL_LEASE=1 cargo test --release -q -p sal-bench --test arena_protocol --test arena_api
+cargo test --release -q -p sal-sync arena
+SAL_LEASE=1 cargo test --release -q -p sal-sync arena
+cargo run --release -q -p sal-bench --bin arenascale -- --smoke
+grep -q '"max_built_cores_at_max_keys"' BENCH_arena.json
+grep -q '"resident_bounded":true' BENCH_arena.json
 cargo clippy -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

@@ -62,6 +62,9 @@ fn async_stats_json(s: &AsyncStats) -> Json {
         ("futile_enter_wakeups", s.futile_enter_wakeups.to_json()),
         ("pid_waits", s.pid_waits.to_json()),
         ("cancelled_pending", s.cancelled_pending.to_json()),
+        ("pool_capacity", s.pool_capacity.to_json()),
+        ("free_pids", s.free_pids.to_json()),
+        ("queued_tasks", s.queued_tasks.to_json()),
     ])
 }
 
@@ -279,24 +282,15 @@ fn ccs_cell(policy: WakePolicy, label: &'static str, waiters: u64) -> CcsRow {
 // ---------------------------------------------------------------- main
 
 fn main() {
-    let mut smoke = false;
-    let mut headline_tasks: Option<usize> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--smoke" => smoke = true,
-            "--tasks" => {
-                headline_tasks = args.next().and_then(|v| v.parse().ok()).or_else(|| {
-                    eprintln!("error: --tasks needs an integer argument");
-                    std::process::exit(2);
-                });
-            }
-            other => {
-                eprintln!("unknown flag {other}; usage: asyncscale [--smoke] [--tasks N]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let p = sal_bench::Cli::new("asyncscale", "async mutex task-scaling benchmark")
+        .flag("--smoke", "CI-sized run")
+        .opt("--tasks", "N", "headline task count")
+        .parse_env_or_exit();
+    let smoke = p.smoke();
+    let headline_tasks: Option<usize> = p.get("--tasks").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
 
     let headline = headline_tasks.unwrap_or(if smoke { 2_000 } else { 10_000 });
     let task_counts: Vec<usize> = if smoke {

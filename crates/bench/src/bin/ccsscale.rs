@@ -426,16 +426,10 @@ fn aggregate(rows: &[Row], scenario: &str, policy: WakePolicy) -> (u64, u64) {
 }
 
 fn main() {
-    let mut smoke = false;
-    for a in std::env::args().skip(1) {
-        match a.as_str() {
-            "--smoke" => smoke = true,
-            other => {
-                eprintln!("unknown flag {other}; usage: ccsscale [--smoke]");
-                std::process::exit(2);
-            }
-        }
-    }
+    let smoke = sal_bench::Cli::new("ccsscale", "conditional-critical-section throughput benchmark")
+        .flag("--smoke", "CI-sized run")
+        .parse_env_or_exit()
+        .smoke();
     let thread_counts: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8] };
     let abort_rates: &[Option<usize>] = &[None, Some(8)];
     let items = if smoke { 300 } else { 2_000 };

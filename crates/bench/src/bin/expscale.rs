@@ -16,7 +16,7 @@
 //! `--smoke` shrinks the grid to a seconds-long CI-sized check.
 //! Prints a table and saves `target/experiments/expscale.json`.
 
-use sal_bench::{grid::parse_list, par_grid, save_json, worst_case_sweep_probed, LockKind, Table};
+use sal_bench::{par_grid, save_json, worst_case_sweep_probed, LockKind, Table};
 use sal_obs::{EventLog, Json, ToJson};
 use std::time::Instant;
 
@@ -42,34 +42,35 @@ impl Default for Args {
 }
 
 fn parse() -> Result<Args, String> {
-    let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .ok_or_else(|| format!("flag {flag} needs a value"))
-        };
-        match flag.as_str() {
-            "--workers" => args.workers = parse_list("--workers", &value()?)?,
-            "--ns" => args.ns = parse_list("--ns", &value()?)?,
-            "--seeds" => args.seeds = parse_list("--seeds", &value()?)?,
-            "--reps" => args.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?,
-            "--smoke" => {
-                args.workers = vec![1, 2];
-                args.ns = vec![8, 16];
-                args.seeds = vec![1];
-                args.reps = 1;
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: expscale [--workers 1,2,4,8] [--ns 16,32,64] \
-                     [--seeds 1,2,3] [--reps R] [--smoke]"
-                );
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag {other}")),
+    let p = sal_bench::Cli::new("expscale", "parallel-grid determinism / scaling check")
+        .opt("--workers", "1,2,4,8", "pool worker counts")
+        .opt("--ns", "16,32,64", "process counts")
+        .opt("--seeds", "1,2,3", "schedule seeds")
+        .opt("--reps", "R", "repetitions per cell")
+        .flag("--smoke", "CI-sized grid (explicit flags still override)")
+        .parse_env_or_exit();
+    // Smoke picks the small grid; explicit flags win over it whatever
+    // their order on the command line.
+    let mut args = if p.smoke() {
+        Args {
+            workers: vec![1, 2],
+            ns: vec![8, 16],
+            seeds: vec![1],
+            reps: 1,
         }
+    } else {
+        Args::default()
+    };
+    if let Some(workers) = p.list("--workers")? {
+        args.workers = workers;
     }
+    if let Some(ns) = p.list("--ns")? {
+        args.ns = ns;
+    }
+    if let Some(seeds) = p.seeds()? {
+        args.seeds = seeds;
+    }
+    args.reps = p.get_or("--reps", args.reps)?;
     if args.workers.is_empty() || args.ns.is_empty() || args.seeds.is_empty() || args.reps == 0 {
         return Err("need at least one worker count, N, seed and rep".into());
     }

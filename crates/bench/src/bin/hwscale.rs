@@ -289,45 +289,24 @@ impl ToJson for CellRow {
 }
 
 fn main() {
-    let mut smoke = false;
-    let mut duration_ms: Option<u64> = None;
-    let mut only: Option<LockKind> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--smoke" => smoke = true,
-            "--duration-ms" => {
-                duration_ms = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .or_else(|| {
-                        eprintln!("error: --duration-ms needs an integer argument");
-                        std::process::exit(2);
-                    });
-            }
-            "--lock" => {
-                // The FromStr path shared with sweep/explore — same
-                // NAMES-listing error on a bad name.
-                let name = args.next().unwrap_or_else(|| {
-                    eprintln!("error: --lock needs a lock name");
-                    std::process::exit(2);
-                });
-                match name.parse::<LockKind>() {
-                    Ok(k) => only = Some(k),
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            other => {
-                eprintln!(
-                    "unknown flag {other}; usage: hwscale [--smoke] [--duration-ms N] [--lock NAME]"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
+    let p = sal_bench::Cli::new("hwscale", "wall-clock lock scaling on real threads")
+        .flag("--smoke", "CI-sized run (short cells, fewer locks)")
+        .opt("--duration-ms", "N", "per-cell measurement window")
+        .opt("--lock", "NAME", "measure only this lock kind")
+        .parse_env_or_exit();
+    let smoke = p.smoke();
+    let duration_ms: Option<u64> = p.get("--duration-ms").unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    // The FromStr path shared with sweep/explore — same NAMES-listing
+    // error on a bad name.
+    let only: Option<LockKind> = p.lock().map(|name| {
+        name.parse().unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    });
 
     let duration = Duration::from_millis(duration_ms.unwrap_or(if smoke { 120 } else { 300 }));
     let budget: u64 = if smoke { 200_000 } else { 1_000_000 };
@@ -416,8 +395,14 @@ fn main() {
             format!("{:.0}", r.mono.throughput()),
             format!("{:.0}", r.dynd.throughput()),
             format!("{:.2}x", r.speedup()),
-            r.mono.lat.quantile(0.99).to_string(),
-            r.dynd.lat.quantile(0.99).to_string(),
+            r.mono
+                .lat
+                .quantile(0.99)
+                .map_or("-".into(), |v| v.to_string()),
+            r.dynd
+                .lat
+                .quantile(0.99)
+                .map_or("-".into(), |v| v.to_string()),
         ]);
     }
     table.print();

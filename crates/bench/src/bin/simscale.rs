@@ -23,7 +23,7 @@
 //! `--smoke` shrinks the grid to a seconds-long CI-sized check.
 //! Prints a table and saves `target/experiments/simscale.json`.
 
-use sal_bench::{build_lock, grid::parse_list, save_json, LockKind, Table};
+use sal_bench::{build_lock, save_json, LockKind, Table};
 use sal_obs::{Json, ToJson};
 use sal_runtime::{
     run_lock, BurstySchedule, ProcPlan, RoundRobin, SchedulePolicy, WorkloadReport, WorkloadSpec,
@@ -53,37 +53,37 @@ impl Default for Args {
 }
 
 fn parse() -> Result<Args, String> {
-    let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .ok_or_else(|| format!("flag {flag} needs a value"))
-        };
-        match flag.as_str() {
-            "--ns" => args.ns = parse_list("--ns", &value()?)?,
-            "--leases" => args.leases = parse_list("--leases", &value()?)?,
-            "--passages" => {
-                args.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?
-            }
-            "--reps" => args.reps = value()?.parse().map_err(|e| format!("--reps: {e}"))?,
-            "--smoke" => {
-                args.ns = vec![4];
-                args.leases = vec![1, 4, 0];
-                args.passages = 8;
-                args.reps = 1;
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: simscale [--ns 2,8] [--leases 1,4,64,0] \
-                     [--passages P] [--reps R] [--smoke]\n\
-                     lease caps: 0 = unbounded, 1 = legacy per-step, k = capped"
-                );
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag {other}")),
+    let p = sal_bench::Cli::new("simscale", "lease-cap scaling on the exact-cost simulator")
+        .opt("--ns", "2,8", "process counts")
+        .opt(
+            "--leases",
+            "1,4,64,0",
+            "lease caps: 0 = unbounded, 1 = legacy per-step, k = capped",
+        )
+        .opt("--passages", "P", "passages per process")
+        .opt("--reps", "R", "repetitions per cell")
+        .flag("--smoke", "CI-sized grid (explicit flags still override)")
+        .parse_env_or_exit();
+    // Smoke picks the small grid; explicit flags win over it whatever
+    // their order on the command line.
+    let mut args = if p.smoke() {
+        Args {
+            ns: vec![4],
+            leases: vec![1, 4, 0],
+            passages: 8,
+            reps: 1,
         }
+    } else {
+        Args::default()
+    };
+    if let Some(ns) = p.list("--ns")? {
+        args.ns = ns;
     }
+    if let Some(leases) = p.list("--leases")? {
+        args.leases = leases;
+    }
+    args.passages = p.get_or("--passages", args.passages)?;
+    args.reps = p.get_or("--reps", args.reps)?;
     if args.ns.is_empty() || args.leases.is_empty() || args.reps == 0 || args.passages == 0 {
         return Err("need at least one N, lease cap, rep and passage".into());
     }

@@ -57,65 +57,58 @@ impl Default for Args {
     }
 }
 
-fn parse() -> Result<Args, String> {
-    let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .ok_or_else(|| format!("flag {flag} needs a value"))
-        };
-        match flag.as_str() {
-            "--lock" => args.lock = value()?,
-            "--b" => args.b = value()?.parse().map_err(|e| format!("--b: {e}"))?,
-            "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
-            "--aborters" => {
-                args.aborters = value()?.parse().map_err(|e| format!("--aborters: {e}"))?
-            }
-            "--abort-after" => {
-                args.abort_after = value()?
-                    .parse()
-                    .map_err(|e| format!("--abort-after: {e}"))?
-            }
-            "--passages" => {
-                args.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?
-            }
-            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--seeds" => args.seeds = sal_bench::grid::parse_list("--seeds", &value()?)?,
-            "--policy" => args.policy = value()?,
-            "--cs-ops" => args.cs_ops = value()?.parse().map_err(|e| format!("--cs-ops: {e}"))?,
-            "--jobs" => args.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
-            "--lease" => args.lease = value()?.parse().map_err(|e| format!("--lease: {e}"))?,
-            "--help" | "-h" => {
-                // `println!` panics on EPIPE (e.g. `sweep --help | head`);
-                // help output should just stop quietly.
-                use std::io::Write;
-                let _ = writeln!(std::io::stdout(), "{}", HELP);
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag {other} (try --help)")),
-        }
-    }
-    Ok(args)
+fn cli() -> sal_bench::Cli {
+    sal_bench::Cli::new(
+        "sweep",
+        "run one lock/workload/schedule combination under exact RMR accounting",
+    )
+    .opt(
+        "--lock",
+        "kind",
+        "one-shot | one-shot-plain | one-shot-dsm | long-lived | long-lived-simple | \
+         mcs | ticket | tas | tournament | scott | lee",
+    )
+    .opt("--b", "2..=64", "tree branching factor for the paper's locks (default 16)")
+    .opt("--n", "procs", "number of processes (default 16)")
+    .opt("--aborters", "k", "how many processes play the aborter role (default 0)")
+    .opt("--abort-after", "s", "abort after waiting this many global steps (default 64)")
+    .opt("--passages", "k", "passages per process (forced to 1 for one-shot locks)")
+    .opt("--seed", "u64", "schedule seed (default 1)")
+    .opt("--seeds", "a,b,c", "run once per seed in parallel; one row per seed + aggregate")
+    .opt("--policy", "p", "random | round-robin | bursty (default random)")
+    .opt("--cs-ops", "k", "shared ops inside the CS (default 2)")
+    .opt("--jobs", "k", "worker threads for --seeds fan-out (0 = auto; SAL_JOBS honoured)")
+    .opt(
+        "--lease",
+        "k",
+        "step-lease cap: 0 = unbounded, 1 = legacy per-step, k = capped \
+         (default from SAL_LEASE, else 0; same results at any value)",
+    )
 }
 
-const HELP: &str = "sweep — run one lock/workload/schedule combination under exact RMR accounting
-
-flags:
-  --lock <kind>        one-shot | one-shot-plain | one-shot-dsm | long-lived |
-                       long-lived-simple | mcs | ticket | tas | tournament | scott | lee
-  --b <2..=64>         tree branching factor for the paper's locks (default 16)
-  --n <procs>          number of processes (default 16)
-  --aborters <k>       how many processes play the aborter role (default 0)
-  --abort-after <s>    abort after waiting this many global steps (default 64)
-  --passages <k>       passages per process (forced to 1 for one-shot locks)
-  --seed <u64>         schedule seed (default 1)
-  --seeds <a,b,c>      run once per seed in parallel; one row per seed + aggregate
-  --policy <p>         random | round-robin | bursty (default random)
-  --cs-ops <k>         shared ops inside the CS (default 2)
-  --jobs <k>           worker threads for --seeds fan-out (0 = auto; SAL_JOBS honoured)
-  --lease <k>          step-lease cap: 0 = unbounded, 1 = legacy per-step, k = capped
-                       (default from SAL_LEASE, else 0; same results at any value)";
+fn parse() -> Result<Args, String> {
+    let p = cli().parse_env_or_exit();
+    let mut args = Args::default();
+    if let Some(lock) = p.lock() {
+        args.lock = lock.to_string();
+    }
+    args.b = p.get_or("--b", args.b)?;
+    args.n = p.get_or("--n", args.n)?;
+    args.aborters = p.get_or("--aborters", args.aborters)?;
+    args.abort_after = p.get_or("--abort-after", args.abort_after)?;
+    args.passages = p.get_or("--passages", args.passages)?;
+    args.seed = p.get_or("--seed", args.seed)?;
+    if let Some(seeds) = p.seeds()? {
+        args.seeds = seeds;
+    }
+    if let Some(policy) = p.value("--policy") {
+        args.policy = policy.to_string();
+    }
+    args.cs_ops = p.get_or("--cs-ops", args.cs_ops)?;
+    args.jobs = p.get_or("--jobs", args.jobs)?;
+    args.lease = p.get_or("--lease", args.lease)?;
+    Ok(args)
+}
 
 fn policy(args: &Args, seed: u64) -> Result<Box<dyn SchedulePolicy>, String> {
     Ok(match args.policy.as_str() {

@@ -1,0 +1,370 @@
+//! Shared flag parsing for the experiment binaries.
+//!
+//! Every `--smoke`-style driver in this crate used to hand-roll the
+//! same twenty-line `std::env::args()` loop, each with its own
+//! slightly different error wording and its own idea of whether
+//! `--jobs=3` works. This module is the one copy: a binary *declares*
+//! its flags (boolean [`Cli::flag`]s and valued [`Cli::opt`]s), and
+//! gets back
+//!
+//! * `--name value` **and** `--name=value` forms,
+//! * `--help`/`-h` with a usage block generated from the declarations,
+//! * unknown-flag errors that list every valid flag (the same
+//!   discoverability rule the lock registry applies to `--lock` names),
+//! * typed accessors ([`Parsed::get`], [`Parsed::list`]) plus
+//!   convenience readers for the cross-binary vocabulary:
+//!   [`Parsed::smoke`], [`Parsed::jobs`], [`Parsed::lock`],
+//!   [`Parsed::seeds`].
+//!
+//! ```
+//! use sal_bench::cli::Cli;
+//! let cli = Cli::new("demo", "demo driver")
+//!     .flag("--smoke", "CI-sized run")
+//!     .opt("--seeds", "a,b,c", "one run per seed");
+//! let p = cli
+//!     .parse(["--smoke", "--seeds=1,2"].iter().map(|s| s.to_string()))
+//!     .unwrap();
+//! assert!(p.smoke());
+//! assert_eq!(p.seeds().unwrap(), Some(vec![1, 2]));
+//! ```
+
+use crate::grid::parse_list;
+use sal_runtime::pool;
+
+/// One declared flag: `--name` (boolean when `placeholder` is `None`,
+/// valued otherwise) plus its help line.
+struct Spec {
+    name: &'static str,
+    placeholder: Option<&'static str>,
+    help: &'static str,
+}
+
+/// A declarative CLI: construct with [`Cli::new`], declare flags with
+/// [`Cli::flag`] / [`Cli::opt`], then [`Cli::parse_env_or_exit`] (in
+/// binaries) or [`Cli::parse`] (in tests).
+pub struct Cli {
+    bin: &'static str,
+    about: &'static str,
+    specs: Vec<Spec>,
+}
+
+impl Cli {
+    /// Start declaring a binary's flags. `bin` is the executable name
+    /// used in usage output, `about` a one-line description.
+    pub fn new(bin: &'static str, about: &'static str) -> Self {
+        Cli {
+            bin,
+            about,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Declare a boolean flag (present or absent), e.g. `--smoke`.
+    pub fn flag(mut self, name: &'static str, help: &'static str) -> Self {
+        assert!(name.starts_with("--"), "flag names start with --");
+        self.specs.push(Spec {
+            name,
+            placeholder: None,
+            help,
+        });
+        self
+    }
+
+    /// Declare a valued flag, e.g. `--seeds a,b,c`. Accepts both
+    /// `--name value` and `--name=value` on the command line;
+    /// `placeholder` is only for the usage text.
+    pub fn opt(mut self, name: &'static str, placeholder: &'static str, help: &'static str) -> Self {
+        assert!(name.starts_with("--"), "flag names start with --");
+        self.specs.push(Spec {
+            name,
+            placeholder: Some(placeholder),
+            help,
+        });
+        self
+    }
+
+    /// The generated usage block: one summary line plus one line per
+    /// declared flag.
+    pub fn usage(&self) -> String {
+        let mut one_line = format!("usage: {}", self.bin);
+        for s in &self.specs {
+            match s.placeholder {
+                None => one_line.push_str(&format!(" [{}]", s.name)),
+                Some(p) => one_line.push_str(&format!(" [{} <{}>]", s.name, p)),
+            }
+        }
+        let mut out = format!("{one_line}\n{}\n\nflags:\n", self.about);
+        let left: Vec<String> = self
+            .specs
+            .iter()
+            .map(|s| match s.placeholder {
+                None => s.name.to_string(),
+                Some(p) => format!("{} <{}>", s.name, p),
+            })
+            .collect();
+        let width = left.iter().map(String::len).max().unwrap_or(0);
+        for (l, s) in left.iter().zip(&self.specs) {
+            out.push_str(&format!("  {l:width$}  {}\n", s.help));
+        }
+        out.push_str(&format!("  {:width$}  print this help\n", "--help"));
+        out
+    }
+
+    /// The `valid flags:` suffix appended to unknown-flag errors.
+    fn valid_flags(&self) -> String {
+        let mut names: Vec<&str> = self.specs.iter().map(|s| s.name).collect();
+        names.push("--help");
+        names.join(", ")
+    }
+
+    /// Parse an argument stream (exclusive of the binary name).
+    ///
+    /// # Errors
+    ///
+    /// On an unknown flag (the message lists every valid flag), a
+    /// valued flag without a value, a value for a boolean flag
+    /// (`--smoke=yes`), or a stray positional argument.
+    pub fn parse(&self, args: impl Iterator<Item = String>) -> Result<Parsed, String> {
+        let mut parsed = Parsed {
+            set: Vec::new(),
+            values: Vec::new(),
+            help: false,
+        };
+        let mut it = args;
+        while let Some(arg) = it.next() {
+            if arg == "--help" || arg == "-h" {
+                parsed.help = true;
+                continue;
+            }
+            // Split --name=value once, up front.
+            let (name, inline) = match arg.split_once('=') {
+                Some((n, v)) => (n.to_string(), Some(v.to_string())),
+                None => (arg.clone(), None),
+            };
+            let Some(spec) = self.specs.iter().find(|s| s.name == name) else {
+                if name.starts_with('-') {
+                    return Err(format!(
+                        "unknown flag {name}; valid flags: {}",
+                        self.valid_flags()
+                    ));
+                }
+                return Err(format!(
+                    "unexpected argument {name}; valid flags: {}",
+                    self.valid_flags()
+                ));
+            };
+            match (spec.placeholder, inline) {
+                (None, None) => parsed.set.push(spec.name),
+                (None, Some(_)) => {
+                    return Err(format!("flag {name} takes no value"));
+                }
+                (Some(_), Some(v)) => parsed.values.push((spec.name, v)),
+                (Some(_), None) => {
+                    let v = it.next().ok_or_else(|| format!("flag {name} needs a value"))?;
+                    parsed.values.push((spec.name, v));
+                }
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Parse the process arguments; print usage and exit 0 on
+    /// `--help`, print the error plus usage to stderr and exit 2 on a
+    /// bad command line. The binaries' one-liner.
+    pub fn parse_env_or_exit(&self) -> Parsed {
+        match self.parse(std::env::args().skip(1)) {
+            Ok(p) if p.help => {
+                // `println!` panics on EPIPE (e.g. `… --help | head`);
+                // help output should just stop quietly.
+                use std::io::Write;
+                let _ = writeln!(std::io::stdout(), "{}", self.usage());
+                std::process::exit(0);
+            }
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}\n{}", self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// The result of a successful parse: which boolean flags were set,
+/// which valued flags got what, and whether `--help` appeared.
+#[derive(Debug)]
+pub struct Parsed {
+    set: Vec<&'static str>,
+    values: Vec<(&'static str, String)>,
+    help: bool,
+}
+
+impl Parsed {
+    /// Was the boolean flag `name` present?
+    pub fn is_set(&self, name: &str) -> bool {
+        self.set.contains(&name)
+    }
+
+    /// Raw value of the valued flag `name` (last occurrence wins).
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Typed value of `name`, or `None` when the flag is absent.
+    ///
+    /// # Errors
+    ///
+    /// When the value fails to parse as `T`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.value(name)
+            .map(|v| v.parse().map_err(|e| format!("{name}: {e}")))
+            .transpose()
+    }
+
+    /// Typed value of `name`, falling back to `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// When the value fails to parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        Ok(self.get(name)?.unwrap_or(default))
+    }
+
+    /// Comma-separated list value of `name` (`--seeds 1,2,3`), or
+    /// `None` when absent.
+    ///
+    /// # Errors
+    ///
+    /// When any element fails to parse, or the list is empty.
+    pub fn list<T: std::str::FromStr>(&self, name: &str) -> Result<Option<Vec<T>>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.value(name).map(|v| parse_list(name, v)).transpose()
+    }
+
+    /// Did `--help` appear? ([`Cli::parse_env_or_exit`] handles this
+    /// before returning; the accessor exists for tests.)
+    pub fn help_requested(&self) -> bool {
+        self.help
+    }
+
+    // ---- the cross-binary vocabulary ----
+
+    /// `--smoke`: CI-sized run.
+    pub fn smoke(&self) -> bool {
+        self.is_set("--smoke")
+    }
+
+    /// `--jobs N` resolved to a concrete worker count: `--jobs 0`, or
+    /// the flag absent, resolves through `SAL_JOBS` / available
+    /// parallelism exactly like [`crate::grid::parse_jobs_args`].
+    ///
+    /// # Errors
+    ///
+    /// When the value is not an integer.
+    pub fn jobs(&self) -> Result<usize, String> {
+        Ok(pool::resolve_jobs(self.get_or("--jobs", 0)?))
+    }
+
+    /// `--lock NAME`, unparsed — feed it to the lock registry, whose
+    /// error already lists the valid kinds.
+    pub fn lock(&self) -> Option<&str> {
+        self.value("--lock")
+    }
+
+    /// `--seeds a,b,c` as integers, or `None` when absent.
+    ///
+    /// # Errors
+    ///
+    /// When any element fails to parse, or the list is empty.
+    pub fn seeds(&self) -> Result<Option<Vec<u64>>, String> {
+        self.list("--seeds")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> impl Iterator<Item = String> {
+        v.iter()
+            .map(|s| (*s).to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn demo() -> Cli {
+        Cli::new("demo", "demo driver")
+            .flag("--smoke", "CI-sized run")
+            .opt("--seeds", "a,b,c", "one run per seed")
+            .opt("--jobs", "k", "worker threads (0 = auto)")
+            .opt("--lock", "kind", "lock under test")
+    }
+
+    #[test]
+    fn both_value_forms_parse() {
+        let p = demo().parse(args(&["--seeds", "1,2", "--smoke"])).unwrap();
+        assert!(p.smoke());
+        assert_eq!(p.seeds().unwrap(), Some(vec![1, 2]));
+        let p = demo().parse(args(&["--seeds=3,4"])).unwrap();
+        assert_eq!(p.seeds().unwrap(), Some(vec![3, 4]));
+        assert!(!p.smoke());
+    }
+
+    #[test]
+    fn unknown_flag_error_lists_valid_flags() {
+        let e = demo().parse(args(&["--bogus"])).unwrap_err();
+        assert!(e.contains("unknown flag --bogus"), "{e}");
+        for f in ["--smoke", "--seeds", "--jobs", "--lock", "--help"] {
+            assert!(e.contains(f), "error should list {f}: {e}");
+        }
+    }
+
+    #[test]
+    fn missing_and_malformed_values_fail_loudly() {
+        assert!(demo().parse(args(&["--seeds"])).is_err());
+        assert!(demo().parse(args(&["--smoke=yes"])).is_err());
+        let p = demo().parse(args(&["--seeds", "1,x"])).unwrap();
+        assert!(p.seeds().is_err(), "list elements must parse");
+        assert!(demo().parse(args(&["stray"])).is_err());
+    }
+
+    #[test]
+    fn help_is_collected_not_fatal_in_pure_parse() {
+        let p = demo().parse(args(&["-h"])).unwrap();
+        assert!(p.help_requested());
+        let u = demo().usage();
+        assert!(u.contains("usage: demo"), "{u}");
+        assert!(u.contains("--seeds <a,b,c>"), "{u}");
+        assert!(u.contains("--help"), "{u}");
+    }
+
+    #[test]
+    fn jobs_resolves_like_parse_jobs_args() {
+        let p = demo().parse(args(&["--jobs", "3"])).unwrap();
+        assert_eq!(p.jobs().unwrap(), 3);
+        let p = demo().parse(args(&[])).unwrap();
+        assert!(p.jobs().unwrap() >= 1, "absent flag resolves to auto");
+        let p = demo().parse(args(&["--jobs", "x"])).unwrap();
+        assert!(p.jobs().is_err());
+    }
+
+    #[test]
+    fn last_occurrence_of_a_valued_flag_wins() {
+        let p = demo()
+            .parse(args(&["--lock", "mcs", "--lock", "tas"]))
+            .unwrap();
+        assert_eq!(p.lock(), Some("tas"));
+        assert_eq!(p.get::<String>("--lock").unwrap().as_deref(), Some("tas"));
+    }
+}

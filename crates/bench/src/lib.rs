@@ -17,11 +17,13 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod grid;
 pub mod registry;
 pub mod report;
 pub mod workloads;
 
+pub use cli::Cli;
 pub use grid::{par_grid, parse_jobs_args};
 pub use registry::{build_lock, LockKind};
 pub use report::{export_events, save_json, save_json_with_log, RmrSummary, Table};

@@ -21,6 +21,10 @@
 //!   [`abort::AbortReason`] vocabulary (deadline vs caller abort), and
 //!   the adaptive spin-then-park [`park::Waiter`] slot that `sal-sync`'s
 //!   conditional critical sections block on.
+//! * [`arena_word`] — the inline-word promotion/demotion protocol that
+//!   lets a keyed arena (`sal_sync::Arena`) run millions of logical
+//!   locks as single CAS words, materializing a real lock core from a
+//!   bounded pool only for keys that observe contention.
 //! * [`resume`] — the enter protocol as resumable, sans-IO state
 //!   machines ([`resume::EnterMachine`]): every blocking wait becomes an
 //!   [`resume::EnterStep::Pending`] poll result, making the spinning
@@ -53,6 +57,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod abort;
+pub mod arena_word;
 pub mod lock;
 pub mod long_lived;
 pub mod one_shot;

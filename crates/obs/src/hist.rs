@@ -118,28 +118,30 @@ impl Histogram {
         }
     }
 
-    /// Nearest-rank quantile (`q` in `0.0..=1.0`), or 0 when empty.
+    /// Nearest-rank quantile (`q` in `0.0..=1.0`), or `None` when no
+    /// samples were recorded — an empty cell has no p99, and reporting
+    /// 0 would be indistinguishable from a real zero-latency sample.
     /// Exact while at most [`Self::RETAIN`] samples were recorded;
     /// otherwise the bucket upper bound containing the rank.
-    pub fn quantile(&self, q: f64) -> u64 {
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         if self.samples.len() as u64 == self.count {
             let mut sorted = self.samples.clone();
             sorted.sort_unstable();
-            return sorted[rank as usize - 1];
+            return Some(sorted[rank as usize - 1]);
         }
         let mut seen = 0u64;
         for (b, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
                 // Upper bound of bucket b: 0 for b = 0, else 2^b - 1.
-                return if b == 0 { 0 } else { (1u64 << b) - 1 }.min(self.max);
+                return Some(if b == 0 { 0 } else { (1u64 << b) - 1 }.min(self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
     /// Per-bucket `(upper_bound_inclusive, count)` pairs, skipping empty
@@ -153,14 +155,16 @@ impl Histogram {
             .collect()
     }
 
-    /// One-line rendering: `n=…min=… p50=… p99=… max=… mean=…`.
+    /// One-line rendering: `n=…min=… p50=… p99=… max=… mean=…` (`-`
+    /// for quantiles of an empty sample set).
     pub fn render(&self) -> String {
+        let q = |v: Option<u64>| v.map_or_else(|| "-".into(), |v| v.to_string());
         format!(
             "n={} min={} p50={} p99={} max={} mean={:.1}",
             self.count,
             self.min(),
-            self.quantile(0.50),
-            self.quantile(0.99),
+            q(self.quantile(0.50)),
+            q(self.quantile(0.99)),
             self.max(),
             self.mean()
         )
@@ -178,7 +182,7 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.5), None, "no samples, no percentile");
         assert!(h.buckets().is_empty());
     }
 
@@ -191,9 +195,9 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert_eq!(h.min(), 1);
         assert_eq!(h.max(), 5);
-        assert_eq!(h.quantile(0.50), 3);
-        assert_eq!(h.quantile(0.99), 5);
-        assert_eq!(h.quantile(1.0), 5);
+        assert_eq!(h.quantile(0.50), Some(3));
+        assert_eq!(h.quantile(0.99), Some(5));
+        assert_eq!(h.quantile(1.0), Some(5));
         assert!((h.mean() - 3.0).abs() < 1e-9);
         assert_eq!(h.sum(), 15);
     }
@@ -223,8 +227,8 @@ mod tests {
         }
         h.samples.clear();
         // Now samples.len() != count → bucket path. 6 lives in (4..=7].
-        assert_eq!(h.quantile(0.5), 6);
-        assert!(h.quantile(0.5) <= 7);
+        assert_eq!(h.quantile(0.5), Some(6));
+        assert!(h.quantile(0.5) <= Some(7));
     }
 
     #[test]

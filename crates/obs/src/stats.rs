@@ -146,8 +146,8 @@ impl PassageStats {
             entered: inner.entered_rmrs.count(),
             aborted: inner.aborted_rmrs.count(),
             max_entered_rmrs: inner.entered_rmrs.max(),
-            p50_entered_rmrs: inner.entered_rmrs.quantile(0.50),
-            p99_entered_rmrs: inner.entered_rmrs.quantile(0.99),
+            p50_entered_rmrs: inner.entered_rmrs.quantile(0.50).unwrap_or(0),
+            p99_entered_rmrs: inner.entered_rmrs.quantile(0.99).unwrap_or(0),
             mean_entered_rmrs: inner.entered_rmrs.mean(),
             max_aborted_rmrs: inner.aborted_rmrs.max(),
             amortized_rmrs: if total == 0 {

@@ -285,6 +285,19 @@ pub struct AsyncStats {
     /// Pending enter futures that were dropped — each one ran the
     /// bounded abort (or took a just-granted lock and released it).
     pub cancelled_pending: u64,
+    /// Size of the pid pool — the most tasks that can contend *inside*
+    /// the lock at once. Tasks beyond this queue for admission.
+    pub pool_capacity: usize,
+    /// Pids sitting in the free pool at snapshot time. Equals
+    /// [`pool_capacity`](Self::pool_capacity) when no attempt or guard
+    /// is in flight — the zero-leak check.
+    pub free_pids: usize,
+    /// Tasks queued for pid admission at snapshot time: the excess of
+    /// concurrent attempts over `pool_capacity`. The snapshot is
+    /// advisory — attempts keep arriving while it is taken — but a
+    /// persistently large value means the pool, not the lock, is the
+    /// bottleneck.
+    pub queued_tasks: usize,
 }
 
 /// An [`AbortableMutex`] driven by futures instead of blocked threads:
@@ -537,6 +550,9 @@ impl<T: ?Sized, P: Probe> AsyncAbortableMutex<T, P> {
             futile_enter_wakeups: self.stats.futile_enter_wakeups.load(Ordering::Relaxed),
             pid_waits: self.stats.pid_waits.load(Ordering::Relaxed),
             cancelled_pending: self.stats.cancelled_pending.load(Ordering::Relaxed),
+            pool_capacity: self.m.capacity(),
+            free_pids: self.pids.free_len(),
+            queued_tasks: self.pids.queued(),
         }
     }
 
@@ -1100,6 +1116,29 @@ mod tests {
         drop(fut);
         assert_eq!(m.queued_tasks(), 0);
         assert_eq!(m.into_inner(), 1);
+    }
+
+    #[test]
+    fn stats_snapshot_pool_occupancy_with_tasks_beyond_capacity() {
+        // 1 holder + 1 in-lock waiter exhaust a capacity-2 pool; six
+        // more suspended attempts sit in the admission queue. The
+        // occupancy snapshot must see all of it.
+        let m = AsyncAbortableMutex::builder(0u32).capacity(2).build_async();
+        let w = counting_waker(&WAKES);
+        let g = m.try_lock().expect("uncontended");
+        let mut futs: Vec<_> = (0..7).map(|_| m.lock()).collect();
+        for fut in &mut futs {
+            assert!(poll_once(fut, &w).is_pending());
+        }
+        let s = m.stats();
+        assert_eq!(s.pool_capacity, 2);
+        assert_eq!(s.free_pids, 0, "holder + one waiter own both pids");
+        assert_eq!(s.queued_tasks, 6, "excess attempts queue for admission");
+        drop(futs);
+        drop(g);
+        let s = m.stats();
+        assert_eq!(s.free_pids, s.pool_capacity, "no pid leaked");
+        assert_eq!(s.queued_tasks, 0);
     }
 
     #[test]

@@ -339,6 +339,14 @@ impl<T: ?Sized> CcsRegistry<T> {
         self.waits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The parking slot a registered waiter blocks on. The arena's
+    /// conditional waits drive the registry directly (its data lives in
+    /// arena entries, not behind an `AbortableMutex`), so they need the
+    /// waiter [`lock_when_raw`] reaches through `m.ccs.slots`.
+    pub(crate) fn cond_waiter(&self, pid: Pid) -> &Waiter {
+        &self.slots[pid].waiter
+    }
+
     /// Bump the futile-wakeup counter (a waiter woken only to find its
     /// predicate false again).
     pub(crate) fn note_futile(&self) {
@@ -420,14 +428,18 @@ impl<T: ?Sized> CcsRegistry<T> {
 /// Deregisters on unwind so a panic elsewhere in the wait loop (e.g.
 /// another waiter's predicate panicking inside our unlock-side
 /// evaluation) cannot leave a dangling condition pointer registered.
-struct RegistrationGuard<'a, T: ?Sized> {
+pub(crate) struct RegistrationGuard<'a, T: ?Sized> {
     reg: &'a CcsRegistry<T>,
     pid: Pid,
     armed: bool,
 }
 
 impl<'a, T: ?Sized> RegistrationGuard<'a, T> {
-    fn register(reg: &'a CcsRegistry<T>, pid: Pid, cond: &(dyn Fn(&T) -> bool + '_)) -> Self {
+    pub(crate) fn register(
+        reg: &'a CcsRegistry<T>,
+        pid: Pid,
+        cond: &(dyn Fn(&T) -> bool + '_),
+    ) -> Self {
         reg.register(pid, cond);
         RegistrationGuard {
             reg,
@@ -438,7 +450,7 @@ impl<'a, T: ?Sized> RegistrationGuard<'a, T> {
 
     /// Normal-path deregistration; returns whether a notification was
     /// consumed.
-    fn deregister(mut self) -> bool {
+    pub(crate) fn deregister(mut self) -> bool {
         self.armed = false;
         self.reg.deregister(self.pid)
     }

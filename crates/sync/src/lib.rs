@@ -107,6 +107,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod async_mutex;
 pub mod ccs;
 
@@ -121,6 +122,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+pub use arena::{Arena, ArenaBuilder, ArenaGuard, ArenaStats};
 pub use async_mutex::{AsyncAbortableMutex, AsyncMutexGuard, AsyncStats};
 pub use ccs::{CcsStats, WakePolicy};
 pub use sal_core::abort::{AbortReason, Immediate};
