@@ -60,5 +60,15 @@ SAL_LEASE=1 cargo test --release -q -p sal-sync arena
 cargo run --release -q -p sal-bench --bin arenascale -- --smoke
 grep -q '"max_built_cores_at_max_keys"' BENCH_arena.json
 grep -q '"resident_bounded":true' BENCH_arena.json
+# Guided schedule search: DPOR pruning and best-first must agree with
+# exhaustive BFS on every verdict (and least canonical witness) — run
+# the equivalence suite under the default and the SAL_LEASE=1 legacy
+# gate, then the explorescale smoke (equivalence gate + states/sec
+# grid + RMR witness hunt, writes BENCH_explore.json at the repo root)
+# and pin that the artifact records the acceptance verdict.
+cargo test --release -q -p sal-bench --test systematic_exploration --test guided_search
+SAL_LEASE=1 cargo test --release -q -p sal-bench --test systematic_exploration --test guided_search
+cargo run --release -q -p sal-bench --bin explorescale -- --smoke
+grep -q '"target_met":true' BENCH_explore.json
 cargo clippy -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

@@ -1,10 +1,11 @@
 //! Ad-hoc systematic-exploration CLI: bounded-deviation model checking
-//! of any registry lock × workload combination.
+//! of any registry lock × workload combination, under any search
+//! strategy.
 //!
 //! ```text
 //! cargo run --release -p sal-bench --bin explore -- \
 //!     --lock one-shot --b 4 --n 3 --aborters 1 --abort-after 8 \
-//!     --deviations 2 --max-runs 4000 --depth 80 --lease 0
+//!     --strategy dpor --deviations 2 --max-runs 4000 --depth 80
 //! ```
 //!
 //! Every schedule within the deviation budget re-executes the workload
@@ -13,239 +14,172 @@
 //! witness schedule is printed as a replayable recording and the
 //! process exits non-zero.
 //!
+//! `--strategy` picks the search order: `bfs` (exhaustive reference),
+//! `dpor` (independence pruning + state-fingerprint dedup),
+//! `best-first` (expand the highest-RMR prefixes first) or `fuzz`
+//! (seeded coverage-feedback schedule mutation; `--seed` seeds it).
+//! Dropped work is reported, not silent: the table lists how many
+//! queued prefixes the run budget truncated, how many children the
+//! independence rule pruned and how many runs the fingerprint table
+//! deduplicated.
+//!
 //! `--lease` sets the step-lease cap for every explored run (0 =
 //! unbounded, 1 = legacy per-step, k = capped; default from
 //! `SAL_LEASE`, else 0). The explored schedule set and any witness are
 //! identical at every cap — leases batch the gate handoffs, never the
 //! decisions.
 
-use sal_bench::{build_lock, LockKind, Table};
-use sal_runtime::{
-    explore, run_lock, run_one_shot, ExploreOptions, ForcedSchedule, ProcPlan, WorkloadSpec,
-};
+use sal_bench::{Cli, ExploreCell, LockKind, Table};
+use sal_runtime::{explore_guided, ExploreOptions, Strategy};
 
-#[derive(Debug)]
-struct Args {
-    lock: String,
-    b: usize,
-    n: usize,
-    aborters: usize,
-    abort_after: u64,
-    passages: usize,
-    cs_ops: usize,
-    max_steps: u64,
-    deviations: usize,
-    max_runs: usize,
-    depth: usize,
-    jobs: usize,
-    lease: u64,
-}
-
-impl Default for Args {
-    fn default() -> Self {
-        Args {
-            lock: "one-shot".into(),
-            b: 4,
-            n: 3,
-            aborters: 0,
-            abort_after: 8,
-            passages: 1,
-            cs_ops: 2,
-            max_steps: 200_000,
-            deviations: 2,
-            max_runs: 4_000,
-            depth: 80,
-            jobs: 0,
-            lease: sal_runtime::default_lease(),
-        }
-    }
-}
-
-fn parse() -> Result<Args, String> {
-    let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .ok_or_else(|| format!("flag {flag} needs a value"))
-        };
-        match flag.as_str() {
-            "--lock" => args.lock = value()?,
-            "--b" => args.b = value()?.parse().map_err(|e| format!("--b: {e}"))?,
-            "--n" => args.n = value()?.parse().map_err(|e| format!("--n: {e}"))?,
-            "--aborters" => {
-                args.aborters = value()?.parse().map_err(|e| format!("--aborters: {e}"))?
-            }
-            "--abort-after" => {
-                args.abort_after = value()?
-                    .parse()
-                    .map_err(|e| format!("--abort-after: {e}"))?
-            }
-            "--passages" => {
-                args.passages = value()?.parse().map_err(|e| format!("--passages: {e}"))?
-            }
-            "--cs-ops" => args.cs_ops = value()?.parse().map_err(|e| format!("--cs-ops: {e}"))?,
-            "--max-steps" => {
-                args.max_steps = value()?.parse().map_err(|e| format!("--max-steps: {e}"))?
-            }
-            "--deviations" => {
-                args.deviations = value()?.parse().map_err(|e| format!("--deviations: {e}"))?
-            }
-            "--max-runs" => {
-                args.max_runs = value()?.parse().map_err(|e| format!("--max-runs: {e}"))?
-            }
-            "--depth" => args.depth = value()?.parse().map_err(|e| format!("--depth: {e}"))?,
-            "--jobs" => args.jobs = value()?.parse().map_err(|e| format!("--jobs: {e}"))?,
-            "--lease" => args.lease = value()?.parse().map_err(|e| format!("--lease: {e}"))?,
-            "--help" | "-h" => {
-                use std::io::Write;
-                let _ = writeln!(std::io::stdout(), "{}", HELP);
-                std::process::exit(0);
-            }
-            other => return Err(format!("unknown flag {other} (try --help)")),
-        }
-    }
-    Ok(args)
-}
-
-const HELP: &str = "explore — bounded-deviation systematic exploration of a lock workload
-
-flags:
-  --lock <kind>        one-shot | one-shot-plain | one-shot-dsm | long-lived |
-                       long-lived-simple | mcs | ticket | tas | tournament | scott | lee
-  --b <2..=64>         tree branching factor for the paper's locks (default 4)
-  --n <procs>          number of processes (default 3; keep small — the
-                       schedule space is exponential)
-  --aborters <k>       how many processes play the aborter role (default 0)
-  --abort-after <s>    abort after waiting this many global steps (default 8)
-  --passages <k>       passages per process (forced to 1 for one-shot locks)
-  --cs-ops <k>         shared ops inside the CS (default 2)
-  --max-steps <s>      per-run step limit / livelock detector (default 200000)
-  --deviations <d>     max deviations from round-robin per schedule (default 2)
-  --max-runs <r>       hard cap on executed schedules (default 4000)
-  --depth <s>          branch-point depth cap per run (default 80)
-  --jobs <k>           worker threads (0 = auto; SAL_JOBS honoured; results
-                       are identical at any value)
-  --lease <k>          step-lease cap: 0 = unbounded, 1 = legacy per-step,
-                       k = capped (default from SAL_LEASE, else 0; the
-                       exploration result is identical at any value)";
-
-/// Drive the workload once under a forced schedule and judge the run.
-fn run_once(policy: ForcedSchedule, kind: LockKind, args: &Args) -> Result<(), String> {
-    let passages = if kind.one_shot() { 1 } else { args.passages };
-    let mut plans = vec![ProcPlan::normal(passages); args.n - args.aborters];
-    plans.extend(vec![
-        ProcPlan::aborter(passages, args.abort_after);
-        args.aborters
-    ]);
-    let attempts: usize = plans.iter().map(|p| p.passages).sum();
-    let built = build_lock(kind, args.n, attempts);
-    let spec = WorkloadSpec {
-        plans,
-        cs_ops: args.cs_ops,
-        max_steps: args.max_steps,
-        lease: args.lease,
-    };
-    let report = if kind.one_shot() {
-        run_one_shot(
-            &*built.lock,
-            &built.mem,
-            built.cs_word,
-            &spec,
-            Box::new(policy),
-        )
-    } else {
-        run_lock(
-            &*built.lock,
-            &built.mem,
-            built.cs_word,
-            &spec,
-            Box::new(policy),
-        )
-    }
-    .map_err(|e| e.to_string())?;
-    report
-        .mutex_check
-        .as_ref()
-        .map_err(|v| format!("mutual exclusion violated: {v:?}"))?;
-    if kind.one_shot() {
-        report
-            .fcfs_check
-            .as_ref()
-            .map_err(|v| format!("FCFS violated: {v:?}"))?;
-    }
-    let resolved: usize = report.outcomes.iter().map(|&(e, a)| e + a).sum();
-    if resolved != attempts {
-        return Err(format!("only {resolved}/{attempts} attempts resolved"));
-    }
-    Ok(())
+fn cli() -> Cli {
+    Cli::new(
+        "explore",
+        "bounded-deviation systematic exploration of a lock workload",
+    )
+    .opt(
+        "--lock",
+        "kind",
+        "one-shot | one-shot-plain | one-shot-dsm | long-lived | long-lived-simple | \
+         mcs | ticket | tas | tournament | scott | lee (default one-shot)",
+    )
+    .opt("--b", "2..=64", "tree branching factor (default 4)")
+    .opt(
+        "--n",
+        "procs",
+        "number of processes (default 3; keep small — the schedule space is exponential)",
+    )
+    .opt("--aborters", "k", "processes playing the aborter role (default 0)")
+    .opt(
+        "--abort-after",
+        "s",
+        "abort after waiting this many global steps (default 8)",
+    )
+    .opt(
+        "--passages",
+        "k",
+        "passages per process (forced to 1 for one-shot locks)",
+    )
+    .opt("--cs-ops", "k", "shared ops inside the CS (default 2)")
+    .opt(
+        "--max-steps",
+        "s",
+        "per-run step limit / livelock detector (default 200000)",
+    )
+    .opt(
+        "--strategy",
+        "s",
+        "search strategy: bfs | dpor | best-first | fuzz (default bfs)",
+    )
+    .opt("--seed", "u64", "fuzzer seed (default 1; fuzz strategy only)")
+    .opt(
+        "--deviations",
+        "d",
+        "max deviations from round-robin per schedule (default 2)",
+    )
+    .opt("--max-runs", "r", "hard cap on executed schedules (default 4000)")
+    .opt("--depth", "s", "branch-point depth cap per run (default 80)")
+    .opt(
+        "--jobs",
+        "k",
+        "worker threads (0 = auto; SAL_JOBS honoured; results are identical at any value)",
+    )
+    .opt(
+        "--lease",
+        "k",
+        "step-lease cap: 0 = unbounded, 1 = legacy per-step, k = capped \
+         (default from SAL_LEASE, else 0; the result is identical at any value)",
+    )
 }
 
 fn main() {
-    let args = match parse() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
+    let p = cli().parse_env_or_exit();
+    let run = || -> Result<(), String> {
+        let b: usize = p.get_or("--b", 4)?;
+        if !(2..=64).contains(&b) {
+            return Err(format!("--b must be in 2..=64 (got {b})"));
         }
-    };
-    // The FromStr path shared by sweep/explore/hwscale, re-targeted to
-    // the CLI branching factor.
-    let kind = match args.lock.parse::<LockKind>() {
-        Ok(k) => k.with_branching(args.b),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
+        let kind = p
+            .lock()
+            .unwrap_or("one-shot")
+            .parse::<LockKind>()?
+            .with_branching(b);
+        let n: usize = p.get_or("--n", 3)?;
+        let aborters: usize = p.get_or("--aborters", 0)?;
+        if aborters >= n {
+            return Err("--aborters must be < --n".into());
         }
-    };
-    if !(2..=64).contains(&args.b) {
-        eprintln!("error: --b must be in 2..=64 (got {})", args.b);
-        std::process::exit(2);
-    }
-    if args.aborters >= args.n {
-        eprintln!("error: --aborters must be < --n");
-        std::process::exit(2);
-    }
-    if args.aborters > 0 && !kind.abortable() {
-        eprintln!("error: {} is not abortable", kind.label());
-        std::process::exit(2);
-    }
+        if aborters > 0 && !kind.abortable() {
+            return Err(format!("{} is not abortable", kind.label()));
+        }
+        let strategy = match p.get_or::<Strategy>("--strategy", Strategy::Bfs)? {
+            Strategy::Fuzz { .. } => Strategy::Fuzz {
+                seed: p.get_or("--seed", 1)?,
+            },
+            s => s,
+        };
+        let cell = ExploreCell {
+            kind,
+            n,
+            aborters,
+            abort_after: p.get_or("--abort-after", 8)?,
+            passages: p.get_or("--passages", 1)?,
+            cs_ops: p.get_or("--cs-ops", 2)?,
+            max_steps: p.get_or("--max-steps", 200_000)?,
+            lease: p.get_or("--lease", sal_runtime::default_lease())?,
+        };
+        let opts = ExploreOptions {
+            max_deviations: p.get_or("--deviations", 2)?,
+            max_runs: p.get_or("--max-runs", 4_000)?,
+            max_branch_depth: p.get_or("--depth", 80)?,
+            jobs: p.get_or("--jobs", 0)?,
+            ..ExploreOptions::default()
+        };
+        let result = explore_guided(&opts, strategy, |policy| cell.guided_run(policy));
 
-    let opts = ExploreOptions {
-        max_deviations: args.deviations,
-        max_runs: args.max_runs,
-        max_branch_depth: args.depth,
-        jobs: args.jobs,
-        collect_schedules: false,
+        let mut t = Table::new(
+            format!(
+                "explore | {} N={} aborters={} strategy={} deviations<={} lease={}",
+                kind.label(),
+                n,
+                aborters,
+                strategy.label(),
+                opts.max_deviations,
+                cell.lease
+            ),
+            &["metric", "value"],
+        );
+        t.row(vec!["schedules executed".into(), result.runs.to_string()]);
+        t.row(vec![
+            "distinct states".into(),
+            result.distinct_states.to_string(),
+        ]);
+        t.row(vec![
+            "truncated (unexecuted prefixes)".into(),
+            result.truncated_runs.to_string(),
+        ]);
+        t.row(vec!["pruned children".into(), result.pruned.to_string()]);
+        t.row(vec!["deduped runs".into(), result.deduped.to_string()]);
+        t.row(vec![
+            "best cost (max entered RMRs)".into(),
+            result.best_cost.to_string(),
+        ]);
+        t.row(vec![
+            "verdict".into(),
+            match &result.violation {
+                None => "all explored schedules safe".into(),
+                Some((_, msg)) => format!("VIOLATION: {msg}"),
+            },
+        ]);
+        t.print();
+        if let Some(rec) = result.violation_recording() {
+            println!("witness recording (replayable): {}", rec.serialize());
+            std::process::exit(1);
+        }
+        Ok(())
     };
-    let result = explore(&opts, |policy| run_once(policy, kind, &args));
-
-    let mut t = Table::new(
-        format!(
-            "explore | {} N={} aborters={} deviations<={} lease={}",
-            kind.label(),
-            args.n,
-            args.aborters,
-            args.deviations,
-            args.lease
-        ),
-        &["metric", "value"],
-    );
-    t.row(vec!["schedules executed".into(), result.runs.to_string()]);
-    t.row(vec![
-        "frontier truncated".into(),
-        result.truncated.to_string(),
-    ]);
-    t.row(vec![
-        "verdict".into(),
-        match &result.violation {
-            None => "all explored schedules safe".into(),
-            Some((_, msg)) => format!("VIOLATION: {msg}"),
-        },
-    ]);
-    t.print();
-    if let Some(rec) = result.violation_recording() {
-        println!("witness recording (replayable): {}", rec.serialize());
-        std::process::exit(1);
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
     }
 }

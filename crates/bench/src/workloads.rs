@@ -1,9 +1,11 @@
 //! The workload builders behind every Table-1 column.
 
 use crate::registry::{build_lock, LockKind};
+use sal_memory::Layered;
 use sal_obs::{Json, NoProbe, Probe, ToJson};
 use sal_runtime::{
-    run_lock_probed, run_one_shot_probed, ProcPlan, RandomSchedule, SimError, WorkloadSpec,
+    run_lock, run_lock_probed, run_one_shot, run_one_shot_probed, ForcedSchedule, GuidedOutcome,
+    OpTraceSink, ProcPlan, RandomSchedule, SimError, WorkloadSpec,
 };
 
 /// One measured point of a sweep (a lock at one `(N, A)` configuration).
@@ -190,6 +192,149 @@ pub fn adaptive_sweep_probed(
 /// processes (and `attempts` total attempts, for the arena-based locks).
 pub fn space_row(kind: LockKind, n: usize, attempts: usize) -> usize {
     build_lock(kind, n, attempts).words
+}
+
+/// One guided-exploration configuration: a registry lock plus a
+/// deterministic workload, runnable under any forced schedule.
+///
+/// This is the bridge between the lock registry and
+/// [`sal_runtime::explore_guided`]: [`guided_run`](Self::guided_run)
+/// rebuilds the whole workload from scratch, drives it under the given
+/// [`ForcedSchedule`], and reports the safety verdict together with the
+/// guidance signals — the op trace (captured by an [`OpTraceSink`]
+/// layered *under* the step gate, so it is step-aligned with the
+/// schedule) and the run's max per-passage RMR count as the search
+/// cost.
+#[derive(Debug, Clone)]
+pub struct ExploreCell {
+    /// Which registry lock to build.
+    pub kind: LockKind,
+    /// Number of processes.
+    pub n: usize,
+    /// How many processes play the aborter role.
+    pub aborters: usize,
+    /// Aborters give up after waiting this many global steps.
+    pub abort_after: u64,
+    /// Passages per process (forced to 1 for one-shot locks).
+    pub passages: usize,
+    /// Shared ops inside each critical section.
+    pub cs_ops: usize,
+    /// Per-run step limit (livelock detector).
+    pub max_steps: u64,
+    /// Step-lease cap for the run (0 = unbounded).
+    pub lease: u64,
+}
+
+impl ExploreCell {
+    /// An uncontended cell: `n` normal processes, one passage each.
+    #[must_use]
+    pub fn new(kind: LockKind, n: usize) -> Self {
+        ExploreCell {
+            kind,
+            n,
+            aborters: 0,
+            abort_after: 8 * n as u64,
+            passages: 1,
+            cs_ops: 2,
+            max_steps: 200_000,
+            lease: sal_runtime::default_lease(),
+        }
+    }
+
+    /// The contended worst-case shape of [`worst_case_sweep`]: all but
+    /// two processes abort while queued (deadline `8n`, long enough to
+    /// take a queue position first).
+    #[must_use]
+    pub fn contended(kind: LockKind, n: usize) -> Self {
+        assert!(n >= 2);
+        ExploreCell {
+            aborters: n - 2,
+            ..ExploreCell::new(kind, n)
+        }
+    }
+
+    /// The process plans, in [`adaptive_sweep`] order: one normal, then
+    /// the aborters, then the remaining normals.
+    #[must_use]
+    pub fn plans(&self) -> Vec<ProcPlan> {
+        assert!(self.aborters < self.n, "need at least one normal process");
+        let passages = if self.kind.one_shot() {
+            1
+        } else {
+            self.passages
+        };
+        let mut plans = vec![ProcPlan::normal(passages)];
+        plans.extend(vec![
+            ProcPlan::aborter(passages, self.abort_after);
+            self.aborters
+        ]);
+        plans.extend(vec![ProcPlan::normal(passages); self.n - 1 - self.aborters]);
+        plans
+    }
+
+    /// Total passage attempts across all plans.
+    #[must_use]
+    pub fn attempts(&self) -> usize {
+        self.plans().iter().map(|p| p.passages).sum()
+    }
+
+    /// Execute the cell once under `policy` and judge the run: mutual
+    /// exclusion, FCFS (one-shot locks only) and every attempt
+    /// resolved. The returned [`GuidedOutcome`] carries the op trace
+    /// and the run's max entered-passage RMRs as cost.
+    #[must_use]
+    pub fn guided_run(&self, policy: ForcedSchedule) -> GuidedOutcome {
+        let plans = self.plans();
+        let attempts: usize = plans.iter().map(|p| p.passages).sum();
+        let built = build_lock(self.kind, self.n, attempts);
+        let traced = Layered::over(&built.mem, OpTraceSink::new());
+        let spec = WorkloadSpec {
+            plans,
+            cs_ops: self.cs_ops,
+            max_steps: self.max_steps,
+            lease: self.lease,
+        };
+        let report = if self.kind.one_shot() {
+            run_one_shot(&*built.lock, &traced, built.cs_word, &spec, Box::new(policy))
+        } else {
+            run_lock(&*built.lock, &traced, built.cs_word, &spec, Box::new(policy))
+        };
+        // Take the trace before anything else touches the memory — the
+        // sink keeps recording after the gate closes.
+        let ops = traced.into_layer().take();
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => {
+                return GuidedOutcome {
+                    verdict: Err(e.to_string()),
+                    ops,
+                    cost: 0,
+                }
+            }
+        };
+        let verdict = (|| {
+            report
+                .mutex_check
+                .as_ref()
+                .map_err(|v| format!("mutual exclusion violated: {v:?}"))?;
+            if self.kind.one_shot() {
+                report
+                    .fcfs_check
+                    .as_ref()
+                    .map_err(|v| format!("FCFS violated: {v:?}"))?;
+            }
+            let resolved: usize = report.outcomes.iter().map(|&(e, a)| e + a).sum();
+            if resolved != attempts {
+                return Err(format!("only {resolved}/{attempts} attempts resolved"));
+            }
+            Ok(())
+        })();
+        GuidedOutcome {
+            verdict,
+            ops,
+            cost: report.stats.summary().max_entered_rmrs,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,7 @@
 
 mod events;
 mod fairness;
+pub mod fp;
 mod hist;
 pub mod json;
 mod mem;

@@ -33,18 +33,32 @@
 //! * children are generated in (frontier index, decision step, live-set
 //!   order), so the visited set and the execution order of runs are
 //!   identical at `jobs = 1` and `jobs = 8`.
+//!
+//! ## Guided search
+//!
+//! [`explore_guided`] generalizes the wave loop into a batch engine
+//! over a pluggable [`Strategy`](crate::search::Strategy): exhaustive
+//! BFS, DPOR-style independence pruning with state-fingerprint dedup,
+//! cost-guided best-first (RMR witness hunting), and a seeded
+//! coverage-feedback schedule fuzzer — see [`crate::search`]. The
+//! classic [`explore`] is `explore_guided` with [`Strategy::Bfs`] and
+//! verdict-only outcomes.
 
 use crate::pool;
 use crate::schedule::{SchedStatus, SchedulePolicy};
+use crate::search::{canonical_schedule, run_fingerprints, RunView, SearchCounters, Strategy};
 use sal_memory::Pid;
+use std::collections::HashSet;
 use std::sync::{Arc, OnceLock};
 
 /// Per-step record of a run: the chosen process and the live set at the
 /// decision point.
-#[derive(Clone, Debug)]
-struct Decision {
-    chosen: Pid,
-    live: Vec<Pid>,
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// The process the scheduler picked at this step.
+    pub chosen: Pid,
+    /// The set of unfinished processes at the decision point.
+    pub live: Vec<Pid>,
 }
 
 /// A policy that plays a forced prefix of choices, then continues with
@@ -85,7 +99,7 @@ impl ForcedSchedule {
 
     /// The round-robin default: the first live pid strictly after
     /// `last`, wrapping.
-    fn round_robin_default(last: Option<Pid>, live: &[Pid]) -> Pid {
+    pub(crate) fn round_robin_default(last: Option<Pid>, live: &[Pid]) -> Pid {
         match last {
             None => live[0],
             Some(l) => *live.iter().find(|&&p| p > l).unwrap_or(&live[0]),
@@ -199,6 +213,12 @@ pub struct ExploreOptions {
     /// [`ExplorationResult::visited`]. Off by default (it costs memory
     /// proportional to runs × schedule length).
     pub collect_schedules: bool,
+    /// Stop at the first batch containing a violation (the default,
+    /// and the classic explorer behaviour). Set to `false` to keep
+    /// searching and report the least witness over *all* executed runs
+    /// — the mode the strategy-equivalence tests use, since different
+    /// strategies reach the first violation at different times.
+    pub stop_on_violation: bool,
 }
 
 impl Default for ExploreOptions {
@@ -209,6 +229,7 @@ impl Default for ExploreOptions {
             max_branch_depth: 400,
             jobs: 0,
             collect_schedules: false,
+            stop_on_violation: true,
         }
     }
 }
@@ -218,10 +239,38 @@ impl Default for ExploreOptions {
 pub struct ExplorationResult {
     /// Schedules executed.
     pub runs: usize,
-    /// Whether the frontier was truncated by `max_runs`.
+    /// Whether the search still had queued work when `max_runs` ran
+    /// out.
     pub truncated: bool,
-    /// The first violating schedule, with the verdict message.
+    /// How many queued prefixes were dropped unexecuted when the run
+    /// budget ended the search (0 unless `truncated`).
+    pub truncated_runs: usize,
+    /// Children skipped by the DPOR independence rule.
+    pub pruned: usize,
+    /// Runs not expanded because their final-state fingerprint was
+    /// already reached by an earlier run.
+    pub deduped: usize,
+    /// Distinct per-step state fingerprints reached — the guided-search
+    /// coverage metric (`explorescale` reports distinct states/sec).
+    pub distinct_states: usize,
+    /// The highest run cost observed (e.g. max per-passage RMRs when
+    /// driven through `GuidedOutcome::cost`; 0 for verdict-only runs).
+    pub best_cost: u64,
+    /// The recorded schedule of the run that achieved
+    /// [`best_cost`](Self::best_cost) (lexicographically least among
+    /// ties; empty when no run reported a cost).
+    pub best_schedule: Vec<Pid>,
+    /// The least violating schedule found, with the verdict message.
+    /// With [`ExploreOptions::stop_on_violation`] the search stops at
+    /// the first batch containing one; otherwise this is the minimum
+    /// over every violation seen.
     pub violation: Option<(Vec<Pid>, String)>,
+    /// The canonical form of the violating schedule (least
+    /// linearization of its dependence order — see
+    /// [`canonical_schedule`](crate::search::canonical_schedule)).
+    /// Equal across strategies that find equivalent witnesses. Same as
+    /// the raw schedule for verdict-only runs with no op trace.
+    pub violation_canonical: Option<Vec<Pid>>,
     /// The full recorded schedule of every executed run, in execution
     /// order (deterministic across worker counts). Empty unless
     /// [`ExploreOptions::collect_schedules`] is set.
@@ -255,7 +304,35 @@ impl ExplorationResult {
 /// index.
 struct RunOutcome {
     record: Vec<Decision>,
-    verdict: Result<(), String>,
+    outcome: GuidedOutcome,
+}
+
+/// What one run reports back to [`explore_guided`]: the verdict plus
+/// the optional guidance signals.
+#[derive(Debug)]
+pub struct GuidedOutcome {
+    /// `Ok(())` or `Err(description)` if the run violated a property.
+    pub verdict: Result<(), String>,
+    /// The run's op trace from an [`OpTraceSink`](crate::OpTraceSink),
+    /// step-aligned with the schedule. Leave empty for verdict-only
+    /// exploration — DPOR pruning and canonical witnesses then degrade
+    /// gracefully to schedule-based fingerprints.
+    pub ops: Vec<crate::search::StepOp>,
+    /// The run's search cost (e.g. its max per-passage RMR count);
+    /// best-first expands expensive prefixes first.
+    pub cost: u64,
+}
+
+impl GuidedOutcome {
+    /// A verdict-only outcome: no op trace, zero cost.
+    #[must_use]
+    pub fn verdict_only(verdict: Result<(), String>) -> Self {
+        GuidedOutcome {
+            verdict,
+            ops: Vec::new(),
+            cost: 0,
+        }
+    }
 }
 
 /// Systematically explore the workload's interleavings.
@@ -289,99 +366,165 @@ pub fn explore<F>(opts: &ExploreOptions, run: F) -> ExplorationResult
 where
     F: Fn(ForcedSchedule) -> Result<(), String> + Sync,
 {
-    let jobs = pool::resolve_jobs(opts.jobs);
-    let mut frontier: Vec<Vec<Pid>> = vec![Vec::new()];
-    let mut runs = 0usize;
-    let mut truncated = false;
-    let mut visited: Vec<Vec<Pid>> = Vec::new();
+    explore_guided(opts, Strategy::Bfs, |policy| {
+        GuidedOutcome::verdict_only(run(policy))
+    })
+}
 
-    while !frontier.is_empty() {
-        // Deterministic budget enforcement: trim the frontier (a list
-        // whose order is independent of worker count) instead of
-        // checking a counter raced by workers.
+/// [`explore`] with a pluggable [`Strategy`] and guidance signals.
+///
+/// The engine alternates strategy batches with parallel execution:
+/// `next_batch` yields the forced prefixes to run, the pool executes
+/// them, outcomes are digested **in batch index order** (fingerprints,
+/// cost tracking, violation selection) and handed back to the strategy
+/// as [`RunView`](crate::search::RunView)s. Everything the strategy or
+/// the result can observe is therefore identical at any
+/// [`ExploreOptions::jobs`] value.
+///
+/// `run` should wrap its memory in an
+/// [`OpTraceSink`](crate::OpTraceSink) layer and report the trace and a
+/// cost through [`GuidedOutcome`]; verdict-only outcomes
+/// ([`GuidedOutcome::verdict_only`]) also work, with schedule-based
+/// fingerprints standing in for state fingerprints.
+pub fn explore_guided<F>(opts: &ExploreOptions, strategy: Strategy, run: F) -> ExplorationResult
+where
+    F: Fn(ForcedSchedule) -> GuidedOutcome + Sync,
+{
+    let jobs = pool::resolve_jobs(opts.jobs);
+    let mut strat = strategy.build();
+    let mut counters = SearchCounters::default();
+    // Per-step cumulative fingerprints — the coverage metric.
+    let mut states: HashSet<u64> = HashSet::new();
+    // Final-state fingerprints — the dedup gate for child expansion.
+    let mut final_seen: HashSet<u64> = HashSet::new();
+    let mut runs = 0usize;
+    let mut visited: Vec<Vec<Pid>> = Vec::new();
+    let mut best: Option<(u64, Vec<Pid>)> = None;
+    // Least violation seen, keyed by (canonical witness, forced
+    // prefix) — batch digestion is index-ordered, so this minimum is
+    // worker-count independent.
+    struct Violation {
+        canonical: Vec<Pid>,
+        prefix: Vec<Pid>,
+        schedule: Vec<Pid>,
+        message: String,
+    }
+    let mut worst: Option<Violation> = None;
+    let mut stopped_on_violation = false;
+
+    loop {
         let remaining = opts.max_runs.saturating_sub(runs);
-        if frontier.len() > remaining {
-            frontier.truncate(remaining);
-            truncated = true;
+        if remaining == 0 {
+            break;
         }
-        if frontier.is_empty() {
+        let batch = strat.next_batch(remaining);
+        if batch.is_empty() {
             break;
         }
 
-        let wave: Vec<RunOutcome> = pool::par_map_indexed(jobs, frontier.len(), |i| {
+        let wave: Vec<RunOutcome> = pool::par_map_indexed(jobs, batch.len(), |i| {
             let out = Arc::new(OnceLock::new());
-            let policy = ForcedSchedule::new(frontier[i].clone(), Arc::clone(&out));
-            let verdict = run(policy);
+            let policy = ForcedSchedule::new(batch[i].clone(), Arc::clone(&out));
+            let outcome = run(policy);
             // The policy published its trace on drop inside `run`; if a
             // caller leaked it the trace is simply empty (no children,
             // no witness) rather than wrong.
             let record = Arc::try_unwrap(out)
                 .map(|cell| cell.into_inner().unwrap_or_default())
                 .unwrap_or_default();
-            RunOutcome { record, verdict }
+            RunOutcome { record, outcome }
         });
         runs += wave.len();
-        if opts.collect_schedules {
-            visited.extend(
-                wave.iter()
-                    .map(|o| o.record.iter().map(|d| d.chosen).collect::<Vec<Pid>>()),
-            );
-        }
 
-        // First wave with a failure ends the search. Among this wave's
-        // failures the lexicographically least forced prefix wins —
-        // completion order never matters.
-        let failure = wave
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| o.verdict.is_err())
-            .min_by(|(a, _), (b, _)| frontier[*a].cmp(&frontier[*b]));
-        if let Some((_, outcome)) = failure {
-            let schedule: Vec<Pid> = outcome.record.iter().map(|d| d.chosen).collect();
-            let msg = outcome.verdict.as_ref().unwrap_err().clone();
-            return ExplorationResult {
-                runs,
-                truncated,
-                violation: Some((schedule, msg)),
-                visited,
-            };
-        }
-
-        // Expand children in (frontier index, step, live order) — fully
-        // deterministic, and a tree: branch points live in each node's
-        // suffix only (a child's prefix ends with its newly forced
-        // deviation), so no schedule is executed twice.
-        let mut next: Vec<Vec<Pid>> = Vec::new();
-        for (idx, outcome) in wave.iter().enumerate() {
-            let prefix_len = frontier[idx].len();
-            let mut deviations = 0usize;
-            let mut last: Option<Pid> = None;
-            for (s, d) in outcome.record.iter().enumerate() {
-                let default = ForcedSchedule::round_robin_default(last, &d.live);
-                if d.chosen != default {
-                    deviations += 1;
-                }
-                if s >= prefix_len && s < opts.max_branch_depth && deviations < opts.max_deviations
-                {
-                    for &q in &d.live {
-                        if q != d.chosen {
-                            let mut child: Vec<Pid> =
-                                outcome.record.iter().take(s).map(|d| d.chosen).collect();
-                            child.push(q);
-                            next.push(child);
-                        }
-                    }
-                }
-                last = Some(d.chosen);
+        // Digest in index order: fingerprints, cost, violations.
+        let mut digests: Vec<(Vec<Pid>, bool, usize)> = Vec::with_capacity(wave.len());
+        for (i, o) in wave.iter().enumerate() {
+            let schedule: Vec<Pid> = o.record.iter().map(|d| d.chosen).collect();
+            let scan = run_fingerprints(&schedule, &o.outcome.ops);
+            let new_states = scan
+                .step_fps
+                .iter()
+                .filter(|&&fp| states.insert(fp))
+                .count();
+            let fresh = final_seen.insert(scan.final_fp);
+            if opts.collect_schedules {
+                visited.push(schedule.clone());
             }
+            let better = match &best {
+                None => true,
+                Some((c, s)) => {
+                    o.outcome.cost > *c || (o.outcome.cost == *c && schedule < *s)
+                }
+            };
+            if better {
+                best = Some((o.outcome.cost, schedule.clone()));
+            }
+            if let Err(msg) = &o.outcome.verdict {
+                let candidate = Violation {
+                    canonical: canonical_schedule(&schedule, &o.outcome.ops),
+                    prefix: batch[i].clone(),
+                    schedule: schedule.clone(),
+                    message: msg.clone(),
+                };
+                let lesser = match &worst {
+                    None => true,
+                    Some(w) => {
+                        (&candidate.canonical, &candidate.prefix) < (&w.canonical, &w.prefix)
+                    }
+                };
+                if lesser {
+                    worst = Some(candidate);
+                }
+            }
+            digests.push((schedule, fresh, new_states));
         }
-        frontier = next;
+
+        if opts.stop_on_violation && worst.is_some() {
+            // Classic behaviour: the first batch containing a failure
+            // ends the search, children unexpanded. Not a truncation —
+            // the witness is the point of the search.
+            stopped_on_violation = true;
+            break;
+        }
+
+        let views: Vec<RunView<'_>> = wave
+            .iter()
+            .zip(&digests)
+            .zip(&batch)
+            .map(|((o, (schedule, fresh, new_states)), prefix)| RunView {
+                prefix,
+                record: &o.record,
+                schedule,
+                ops: &o.outcome.ops,
+                cost: o.outcome.cost,
+                fresh: *fresh,
+                new_states: *new_states,
+            })
+            .collect();
+        strat.absorb(&views, opts, &mut counters);
     }
 
+    let truncated_runs = if stopped_on_violation {
+        0
+    } else {
+        strat.pending()
+    };
+    let (best_cost, best_schedule) = best.unwrap_or((0, Vec::new()));
+    let (violation, violation_canonical) = match worst {
+        Some(w) => (Some((w.schedule, w.message)), Some(w.canonical)),
+        None => (None, None),
+    };
     ExplorationResult {
         runs,
-        truncated,
-        violation: None,
+        truncated: truncated_runs > 0,
+        truncated_runs,
+        pruned: counters.pruned,
+        deduped: counters.deduped,
+        distinct_states: states.len(),
+        best_cost,
+        best_schedule,
+        violation,
+        violation_canonical,
         visited,
     }
 }

@@ -68,11 +68,18 @@ pub mod pool;
 mod replay;
 mod rng;
 mod schedule;
+pub mod search;
 mod sim;
 
 pub use events::{Event, EventKind, EventLog, FcfsViolation, MutexViolation};
 pub use executor::{block_on, Executor};
-pub use explore::{explore, ExplorationResult, ExploreOptions, ForcedSchedule};
+pub use explore::{
+    explore, explore_guided, Decision, ExplorationResult, ExploreOptions, ForcedSchedule,
+    GuidedOutcome,
+};
+pub use search::{
+    canonical_schedule, independent, OpTraceSink, SearchStrategy, StepOp, Strategy,
+};
 pub use gate::{stepped, StepGate, StepLayer, SteppedMem};
 pub use harness::{
     par_runs, run_lock, run_lock_core, run_lock_core_probed, run_lock_probed, run_one_shot,

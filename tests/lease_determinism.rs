@@ -227,6 +227,7 @@ fn exploration_trace_is_identical_at_every_cap() {
                 max_branch_depth: 50,
                 jobs: 1,
                 collect_schedules: true,
+                ..ExploreOptions::default()
             },
             run,
         )

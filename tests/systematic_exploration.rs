@@ -7,24 +7,28 @@
 use sal_core::long_lived::BoundedLongLivedLock;
 use sal_core::one_shot::OneShotLock;
 use sal_core::tree::Ascent;
-use sal_memory::{Mem, MemoryBuilder, SignalFn};
-use sal_runtime::{explore, simulate, EventKind, ExploreOptions, SimOptions};
+use sal_memory::{Layered, Mem, MemoryBuilder, SignalFn};
+use sal_runtime::{
+    explore, explore_guided, simulate, EventKind, ExploreOptions, ForcedSchedule, GuidedOutcome,
+    OpTraceSink, SimOptions, Strategy,
+};
 
-/// Drive the one-shot lock under one forced schedule; `aborter_delay[p]`
-/// = Some(steps) makes process `p` abort after that many global steps in
-/// `enter`.
-fn one_shot_run(
-    policy: sal_runtime::ForcedSchedule,
+/// Drive the one-shot lock under one forced schedule, recording the op
+/// trace; `aborter_delay[p]` = Some(steps) makes process `p` abort
+/// after that many global steps in `enter`.
+fn one_shot_guided(
+    policy: ForcedSchedule,
     n: usize,
     b: usize,
     aborter_delay: &[Option<u64>],
-) -> Result<(), String> {
+) -> GuidedOutcome {
     let mut builder = MemoryBuilder::new();
     let lock = OneShotLock::layout_with(&mut builder, n, b, Ascent::Adaptive);
     let cs = builder.alloc(0);
     let mem = builder.build_cc(n);
+    let traced = Layered::over(&mem, OpTraceSink::new());
     let report = simulate(
-        &mem,
+        &traced,
         n,
         Box::new(policy),
         SimOptions {
@@ -52,28 +56,47 @@ fn one_shot_run(
                 ctx.event(EventKind::Aborted);
             }
         },
-    )
-    .map_err(|e| e.to_string())?;
-    report
-        .log
-        .check_mutual_exclusion()
-        .map_err(|v| format!("mutual exclusion violated: {v:?}"))?;
-    let outcomes = report.log.outcomes(n);
-    let resolved: usize = outcomes.iter().map(|o| o.0 + o.1).sum();
-    if resolved != n {
-        return Err(format!("only {resolved}/{n} attempts resolved"));
-    }
-    let entered: usize = outcomes.iter().map(|o| o.0).sum();
-    if mem.read(0, cs) != entered as u64 {
-        return Err("CS counter inconsistent".into());
-    }
-    // Non-aborting processes must always enter (no lost handoff).
-    for (p, o) in outcomes.iter().enumerate() {
-        if aborter_delay[p].is_none() && o.0 != 1 {
-            return Err(format!("process {p} lost its handoff"));
+    );
+    // Verdict reads below go through the raw `mem`, so the trace stays
+    // step-aligned with the schedule.
+    let ops = traced.into_layer().take();
+    let verdict = (|| {
+        let report = report.map_err(|e| e.to_string())?;
+        report
+            .log
+            .check_mutual_exclusion()
+            .map_err(|v| format!("mutual exclusion violated: {v:?}"))?;
+        let outcomes = report.log.outcomes(n);
+        let resolved: usize = outcomes.iter().map(|o| o.0 + o.1).sum();
+        if resolved != n {
+            return Err(format!("only {resolved}/{n} attempts resolved"));
         }
+        let entered: usize = outcomes.iter().map(|o| o.0).sum();
+        if mem.read(0, cs) != entered as u64 {
+            return Err("CS counter inconsistent".into());
+        }
+        // Non-aborting processes must always enter (no lost handoff).
+        for (p, o) in outcomes.iter().enumerate() {
+            if aborter_delay[p].is_none() && o.0 != 1 {
+                return Err(format!("process {p} lost its handoff"));
+            }
+        }
+        Ok(())
+    })();
+    GuidedOutcome {
+        verdict,
+        ops,
+        cost: 0,
     }
-    Ok(())
+}
+
+fn one_shot_run(
+    policy: ForcedSchedule,
+    n: usize,
+    b: usize,
+    aborter_delay: &[Option<u64>],
+) -> Result<(), String> {
+    one_shot_guided(policy, n, b, aborter_delay).verdict
 }
 
 #[test]
@@ -174,4 +197,198 @@ fn long_lived_two_processes_two_passages() {
     );
     result.assert_ok();
     assert!(result.runs > 100, "explored only {} schedules", result.runs);
+}
+
+// ---- strategy equivalence -------------------------------------------
+//
+// DPOR pruning and best-first ordering must never change *what* the
+// explorer concludes, only how fast it gets there: on every config
+// above, both must report the same safety verdict as exhaustive BFS —
+// and, when a violation exists, the same lexicographically least
+// canonical witness.
+
+/// Explore `run` under BFS, DPOR and best-first with a budget large
+/// enough that nobody truncates, and assert verdict + canonical-witness
+/// equality.
+fn assert_strategies_agree(
+    opts: &ExploreOptions,
+    label: &str,
+    run: impl Fn(ForcedSchedule) -> GuidedOutcome + Sync,
+) {
+    // Never stop early: different strategies reach their first
+    // violation at different times, so equivalence is over the least
+    // witness of the whole (pruned) search space.
+    let opts = ExploreOptions {
+        stop_on_violation: false,
+        ..opts.clone()
+    };
+    let bfs = explore_guided(&opts, Strategy::Bfs, &run);
+    assert!(
+        !bfs.truncated,
+        "{label}: BFS truncated at {} runs — budget too small for an equivalence check",
+        bfs.runs
+    );
+    for strategy in [Strategy::Dpor, Strategy::BestFirst] {
+        let r = explore_guided(&opts, strategy, &run);
+        assert!(
+            !r.truncated,
+            "{label}/{}: truncated at {} runs",
+            strategy.label(),
+            r.runs
+        );
+        assert_eq!(
+            bfs.violation.is_some(),
+            r.violation.is_some(),
+            "{label}: {} disagrees with BFS on safety (BFS: {:?}, {}: {:?})",
+            strategy.label(),
+            bfs.violation,
+            strategy.label(),
+            r.violation
+        );
+        assert_eq!(
+            bfs.violation_canonical,
+            r.violation_canonical,
+            "{label}: {} found a different least witness",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn strategies_agree_on_every_one_shot_config() {
+    let configs: &[(usize, usize, &[Option<u64>], usize)] = &[
+        (3, 2, &[None, None, None], 2),
+        (3, 2, &[None, Some(2), None], 2),
+        (4, 2, &[None, Some(1), Some(3), None], 1),
+    ];
+    for &(n, b, delays, deviations) in configs {
+        let opts = ExploreOptions {
+            max_deviations: deviations,
+            max_runs: 20_000,
+            max_branch_depth: if n == 4 { 80 } else { 60 },
+            ..ExploreOptions::default()
+        };
+        assert_strategies_agree(&opts, &format!("one-shot n={n} b={b}"), |policy| {
+            one_shot_guided(policy, n, b, delays)
+        });
+    }
+}
+
+#[test]
+fn strategies_agree_on_the_long_lived_config() {
+    let opts = ExploreOptions {
+        max_deviations: 1,
+        max_runs: 20_000,
+        max_branch_depth: 120,
+        ..ExploreOptions::default()
+    };
+    assert_strategies_agree(&opts, "long-lived n=2", |policy| {
+        let n = 2;
+        let mut builder = MemoryBuilder::new();
+        let lock = BoundedLongLivedLock::layout(&mut builder, n, 2);
+        let cs = builder.alloc(0);
+        let mem = builder.build_cc(n);
+        let traced = Layered::over(&mem, OpTraceSink::new());
+        let report = simulate(
+            &traced,
+            n,
+            Box::new(policy),
+            SimOptions {
+                max_steps: 200_000,
+                abort_plan: vec![],
+                lease: sal_runtime::default_lease(),
+            },
+            |ctx| {
+                for _ in 0..2 {
+                    let entered = lock.enter(ctx.mem, ctx.pid, &sal_memory::NeverAbort);
+                    assert!(entered);
+                    ctx.event(EventKind::CsEnter);
+                    ctx.mem.faa(ctx.pid, cs, 1);
+                    ctx.event(EventKind::CsLeave);
+                    lock.exit(ctx.mem, ctx.pid);
+                }
+            },
+        );
+        let ops = traced.into_layer().take();
+        let verdict = (|| {
+            let report = report.map_err(|e| e.to_string())?;
+            report
+                .log
+                .check_mutual_exclusion()
+                .map_err(|v| format!("{v:?}"))?;
+            if mem.read(0, cs) != 4 {
+                return Err("missing passages".into());
+            }
+            Ok(())
+        })();
+        GuidedOutcome {
+            verdict,
+            ops,
+            cost: 0,
+        }
+    });
+}
+
+/// A deliberately racy test-then-set "lock": the equivalence contract
+/// must hold on *violating* configs too — all three strategies find a
+/// violation and canonicalize to the same least witness.
+fn broken_lock_guided(policy: ForcedSchedule) -> GuidedOutcome {
+    let mut b = MemoryBuilder::new();
+    let flag = b.alloc(0);
+    let in_cs = b.alloc(0);
+    let max_seen = b.alloc(0);
+    let mem = b.build_cc(2);
+    let traced = Layered::over(&mem, OpTraceSink::new());
+    let report = simulate(&traced, 2, Box::new(policy), SimOptions::default(), |ctx| {
+        // BROKEN: read, then write — not atomic.
+        loop {
+            if ctx.mem.read(ctx.pid, flag) == 0 {
+                ctx.mem.write(ctx.pid, flag, 1); // should be CAS!
+                break;
+            }
+        }
+        let inside = ctx.mem.faa(ctx.pid, in_cs, 1) + 1;
+        let seen = ctx.mem.read(ctx.pid, max_seen);
+        if inside > seen {
+            ctx.mem.write(ctx.pid, max_seen, inside);
+        }
+        ctx.mem.faa(ctx.pid, in_cs, 1u64.wrapping_neg());
+        ctx.mem.write(ctx.pid, flag, 0);
+    });
+    let ops = traced.into_layer().take();
+    let verdict = (|| {
+        report.map_err(|e| e.to_string())?;
+        if mem.read(0, max_seen) > 1 {
+            Err("two processes in the CS".into())
+        } else {
+            Ok(())
+        }
+    })();
+    GuidedOutcome {
+        verdict,
+        ops,
+        cost: 0,
+    }
+}
+
+#[test]
+fn strategies_agree_on_a_violating_config() {
+    let opts = ExploreOptions {
+        max_deviations: 1,
+        max_runs: 20_000,
+        max_branch_depth: 100,
+        ..ExploreOptions::default()
+    };
+    assert_strategies_agree(&opts, "broken test-then-set", broken_lock_guided);
+    // And the witness really exists.
+    let opts = ExploreOptions {
+        stop_on_violation: false,
+        ..opts
+    };
+    let r = explore_guided(&opts, Strategy::Dpor, broken_lock_guided);
+    assert!(r.violation.is_some(), "DPOR missed the race entirely");
+    assert!(
+        r.violation_canonical.is_some(),
+        "violation must come with its canonical witness"
+    );
 }
