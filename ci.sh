@@ -70,5 +70,19 @@ cargo test --release -q -p sal-bench --test systematic_exploration --test guided
 SAL_LEASE=1 cargo test --release -q -p sal-bench --test systematic_exploration --test guided_search
 cargo run --release -q -p sal-bench --bin explorescale -- --smoke
 grep -q '"target_met":true' BENCH_explore.json
+# Amortized accounting + the Jayanti–Jayanti constant-amortized lock:
+# the aggregate must reconcile bit-exactly with the memory's RMR
+# counters (amortized_accounting) and the cumulative bill must obey the
+# debt ledger total ≤ c·passages + b (rmr_bounds) — under the default
+# and the SAL_LEASE=1 legacy gate. The table1 smoke runs the M9
+# amortized experiment (writes BENCH_table1.json at the repo root);
+# the greps pin that the artifact carries the measured amortized
+# column and the acceptance verdict.
+cargo test --release -q -p sal-bench --test amortized_accounting --test rmr_bounds
+SAL_LEASE=1 cargo test --release -q -p sal-bench --test amortized_accounting --test rmr_bounds
+cargo run --release -q -p sal-bench --bin table1 -- --smoke
+grep -q '"amortized_rmrs"' BENCH_table1.json
+grep -q '"target_met":true' BENCH_table1.json
+cargo fmt --check
 cargo clippy -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

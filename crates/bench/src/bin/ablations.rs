@@ -16,13 +16,63 @@
 //! Independent grid cells run on the work-stealing pool (`--jobs N` /
 //! `SAL_JOBS`, default = available parallelism); results are gathered
 //! in cell order so output is byte-identical to a serial run.
+//!
+//! The shared flag vocabulary applies: `--lease k` sets the step-lease
+//! cap for every simulation in the run (exported as `SAL_LEASE` so the
+//! workload builders' defaults pick it up; results are identical at
+//! any cap), and `--strategy bfs|dpor|best-first|fuzz` adds a
+//! guided-search cross-check to the `sidestep` ablation — the
+//! plain-vs-adaptive gap re-measured over *searched* worst-case
+//! schedules at small N instead of one sampled schedule.
 
 use sal_bench::report::save_json;
-use sal_bench::{no_abort_sweep, par_grid, worst_case_sweep, LockKind, Table};
+use sal_bench::{no_abort_sweep, par_grid, worst_case_sweep, ExploreCell, LockKind, Table};
 use sal_core::long_lived::BoundedLongLivedLock;
 use sal_core::one_shot::DsmOneShotLock;
 use sal_core::tree::Ascent;
 use sal_memory::{Mem, MemoryBuilder, NeverAbort, RmrProbe};
+use sal_runtime::{explore_guided, ExploreOptions, Strategy};
+
+/// A1c (`--strategy` only): the same plain-vs-adaptive comparison with
+/// the worst case *searched for* rather than sampled — guided
+/// exploration over all schedules of a small contended cell, reporting
+/// the most expensive complete passage any explored schedule produced.
+fn sidestep_guided(jobs: usize, strategy: Strategy) {
+    let mut table = Table::new(
+        format!(
+            "A1c — ablation under guided search (strategy={}, N=4, B=2, 2 aborters)",
+            strategy.label()
+        ),
+        &["ascent", "worst max RMRs/passage", "schedules"],
+    );
+    let variants = [
+        ("plain", LockKind::OneShotPlain { b: 2 }),
+        ("adaptive", LockKind::OneShot { b: 2 }),
+    ];
+    for (label, kind) in variants {
+        let cell = ExploreCell::contended(kind, 4);
+        let opts = ExploreOptions {
+            jobs,
+            ..ExploreOptions::default()
+        };
+        let result = explore_guided(&opts, strategy, |policy| cell.guided_run(policy));
+        assert!(
+            result.violation.is_none(),
+            "{label} ascent violated safety under guided search: {:?}",
+            result.violation
+        );
+        table.row(vec![
+            label.into(),
+            result.best_cost.to_string(),
+            result.runs.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "shape check: searched worst cases dominate the sampled ones above; the gap between \
+         the ascents survives adversarial scheduling."
+    );
+}
 
 /// Adaptive vs plain ascent, complete-passage worst case.
 fn sidestep(jobs: usize) {
@@ -326,16 +376,63 @@ fn wrapper(jobs: usize) {
 }
 
 fn main() {
-    let (positional, jobs) = match sal_bench::parse_jobs_args(std::env::args().skip(1)) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let sub = if args.first().is_some_and(|a| !a.starts_with('-')) {
+        args.remove(0)
+    } else {
+        "all".to_string()
+    };
+    let cli = sal_bench::Cli::new(
+        "ablations [sidestep|resets|dsm|faa|wrapper|all]",
+        "ablation studies of the paper's design choices",
+    )
+    .opt(
+        "--jobs",
+        "k",
+        "worker threads (0 = auto; SAL_JOBS honoured)",
+    )
+    .lease_opt()
+    .strategy_opt()
+    .opt(
+        "--seed",
+        "u64",
+        "fuzzer seed (default 1; fuzz strategy only)",
+    );
+    let p = match cli.parse(args.into_iter()) {
+        Ok(p) if p.help_requested() => {
+            println!("{}", cli.usage());
+            return;
+        }
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", cli.usage());
+            std::process::exit(2);
+        }
+    };
+    let run = || -> Result<(usize, Option<Strategy>), String> {
+        // The workload builders default their lease through SAL_LEASE;
+        // exporting the flag (before any simulation, single-threaded)
+        // is what makes `--lease` reach every cell uniformly.
+        if let Some(lease) = p.get::<u64>("--lease")? {
+            std::env::set_var("SAL_LEASE", lease.to_string());
+        }
+        Ok((p.jobs()?, p.strategy()?))
+    };
+    let (jobs, strategy) = match run() {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
     };
-    let arg = positional.first().map(String::as_str).unwrap_or("all");
-    match arg {
-        "sidestep" => sidestep(jobs),
+    let sidestep_all = |jobs| {
+        sidestep(jobs);
+        if let Some(s) = strategy {
+            sidestep_guided(jobs, s);
+        }
+    };
+    match sub.as_str() {
+        "sidestep" => sidestep_all(jobs),
         "resets" => resets(),
         "dsm" => {
             dsm();
@@ -344,7 +441,7 @@ fn main() {
         "wrapper" => wrapper(jobs),
         "faa" => faa(jobs),
         "all" => {
-            sidestep(jobs);
+            sidestep_all(jobs);
             resets();
             dsm();
             dsm_spin();

@@ -30,12 +30,23 @@
 //! cell recorded no samples — see `lat_samples`), and the resident
 //! lock-object counts that make the memory story checkable
 //! (`built_cores` for the arena vs `resident_objects` for the maps).
+//! Arena and abortmap rows also carry `amortized` — run-scoped
+//! [`AmortizedStats`] from a CC-instrumented
+//! companion run of the lock core both wrap
+//! ([`BoundedLongLivedLock`](sal_core::long_lived::BoundedLongLivedLock)
+//! at the builder-default branching) under the cell's thread count and
+//! abort pattern; RMRs do not exist on the raw hardware path, so the
+//! companion is where the exact-model cost per cell comes from
+//! (`accounting_ok` records the bit-exact ground-truth cross-check).
+//! `stdmap` rows carry `null` — an OS futex has no lock core to
+//! instrument.
 //! `target_met` requires the arena to beat abortmap on every
 //! uncontended-heavy skewed cell where both ran, and the arena's
 //! built-core count to stay bounded by the pool (≪ keys) at the
 //! largest key space.
 
-use sal_obs::{Histogram, Json, ToJson};
+use sal_bench::{amortized_companion, LockKind};
+use sal_obs::{AmortizedStats, Histogram, Json, ToJson};
 use sal_runtime::SmallRng;
 use sal_sync::{AbortableMutex, Arena};
 use std::collections::HashMap;
@@ -228,10 +239,8 @@ fn drive<L: Send>(
         }
     });
     let elapsed = start.lock().unwrap().expect("started").elapsed();
-    let (entered, aborted, lat) = std::mem::replace(
-        &mut *merged.lock().unwrap(),
-        (0, 0, Histogram::new()),
-    );
+    let (entered, aborted, lat) =
+        std::mem::replace(&mut *merged.lock().unwrap(), (0, 0, Histogram::new()));
     (entered, aborted, elapsed.as_secs_f64(), lat)
 }
 
@@ -241,24 +250,29 @@ fn run_arena(cell: Cell) -> Measured {
         .pool(cell.threads * 4)
         .core_capacity(cell.threads + 1)
         .build();
-    let (entered, aborted, elapsed_s, lat) = drive(cell, |_| (), |_, key, abortable| {
-        let a = &arena;
-        if abortable {
-            match a.try_lock(&key) {
-                Some(mut g) => {
-                    *g += 1;
-                    true
+    let (entered, aborted, elapsed_s, lat) = drive(
+        cell,
+        |_| (),
+        |_, key, abortable| {
+            let a = &arena;
+            if abortable {
+                match a.try_lock(&key) {
+                    Some(mut g) => {
+                        *g += 1;
+                        true
+                    }
+                    None => false,
                 }
-                None => false,
+            } else {
+                *a.lock(&key) += 1;
+                true
             }
-        } else {
-            *a.lock(&key) += 1;
-            true
-        }
-    });
+        },
+    );
     let stats = arena.stats();
     assert_eq!(
-        stats.resident_cores, 0,
+        stats.resident_cores,
+        0,
         "a pooled core leaked: {stats:?} in cell keys={} skew={} threads={}",
         cell.keys,
         cell.skew.name(),
@@ -282,21 +296,25 @@ fn run_arena(cell: Cell) -> Measured {
 
 fn run_stdmap(cell: Cell) -> Measured {
     let map: ShardedMap<Mutex<u64>> = ShardedMap::new(256);
-    let (entered, aborted, elapsed_s, lat) = drive(cell, |_| (), |_, key, abortable| {
-        let lock = map.entry(key);
-        if abortable {
-            match lock.try_lock() {
-                Ok(mut g) => {
-                    *g += 1;
-                    true
+    let (entered, aborted, elapsed_s, lat) = drive(
+        cell,
+        |_| (),
+        |_, key, abortable| {
+            let lock = map.entry(key);
+            if abortable {
+                match lock.try_lock() {
+                    Ok(mut g) => {
+                        *g += 1;
+                        true
+                    }
+                    Err(_) => false,
                 }
-                Err(_) => false,
+            } else {
+                *lock.lock().unwrap() += 1;
+                true
             }
-        } else {
-            *lock.lock().unwrap() += 1;
-            true
-        }
-    });
+        },
+    );
     let mut sum = 0u64;
     for shard in &map.shards {
         for v in shard.read().unwrap().values() {
@@ -370,6 +388,10 @@ struct Row {
     cell: Cell,
     imp: &'static str,
     m: Measured,
+    /// Exact-model amortized cost of the lock core this implementation
+    /// wraps, from the cell's companion run; `None` for `stdmap`.
+    amortized: Option<AmortizedStats>,
+    accounting_ok: Option<bool>,
 }
 
 impl Row {
@@ -389,6 +411,11 @@ impl Row {
             ("p99_enter_ns", self.m.lat.quantile(0.99).to_json()),
             ("lat_samples", self.m.lat.count().to_json()),
             ("resident_objects", self.m.resident_objects.to_json()),
+            (
+                "amortized",
+                self.amortized.map_or(Json::Null, |a| a.to_json()),
+            ),
+            ("accounting_ok", self.accounting_ok.to_json()),
         ])
     }
 }
@@ -429,7 +456,16 @@ fn main() {
     println!("arenascale ({mode}): ops/thread={ops_per_thread} threads={threads_list:?} keys={key_spaces:?}");
     println!(
         "{:<9} {:>9} {:<8} {:>7} {:>6} {:>10} {:>8} {:>12} {:>8} {:>9}",
-        "impl", "keys", "skew", "threads", "abort", "mops", "p99(ns)", "samples", "aborted", "resident"
+        "impl",
+        "keys",
+        "skew",
+        "threads",
+        "abort",
+        "mops",
+        "p99(ns)",
+        "samples",
+        "aborted",
+        "resident"
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -445,13 +481,25 @@ fn main() {
                         abort_every,
                         ops_per_thread,
                     };
-                    let mut runs: Vec<(&'static str, Measured)> = vec![
-                        ("arena", run_arena(cell)),
-                        ("stdmap", run_stdmap(cell)),
-                    ];
+                    let mut runs: Vec<(&'static str, Measured)> =
+                        vec![("arena", run_arena(cell)), ("stdmap", run_stdmap(cell))];
                     if keys <= ABORTMAP_MAX_KEYS {
                         runs.push(("abortmap", run_abortmap(cell)));
                     }
+                    // One exact-model companion per cell: arena and
+                    // abortmap wrap the same lock core, so they share
+                    // its run-scoped amortized cost.
+                    let (amortized, accounting_ok) = amortized_companion(
+                        LockKind::LongLived { b: 64 },
+                        cell.threads,
+                        cell.abort_every.map(|k| k as usize),
+                        if smoke { 100 } else { 200 },
+                    );
+                    assert!(
+                        accounting_ok,
+                        "companion probe totals diverged from memory ground truth \
+                         (keys={keys} threads={threads})"
+                    );
                     for (imp, m) in runs {
                         let total = cell.ops_per_thread * cell.threads as u64;
                         println!(
@@ -469,7 +517,14 @@ fn main() {
                             m.aborted,
                             m.resident_objects,
                         );
-                        rows.push(Row { cell, imp, m });
+                        let has_core = imp != "stdmap";
+                        rows.push(Row {
+                            cell,
+                            imp,
+                            m,
+                            amortized: has_core.then_some(amortized),
+                            accounting_ok: has_core.then_some(accounting_ok),
+                        });
                     }
                 }
             }

@@ -91,7 +91,10 @@ impl ToJson for CellRow {
         Json::obj(vec![
             ("tasks", (self.tasks as u64).to_json()),
             ("reps_per_task", (self.reps as u64).to_json()),
-            ("cancel_every", self.cancel_every.map(|k| k as u64).to_json()),
+            (
+                "cancel_every",
+                self.cancel_every.map(|k| k as u64).to_json(),
+            ),
             ("entered", self.entered.to_json()),
             ("aborted", self.aborted.to_json()),
             ("elapsed_ns", (self.elapsed.as_nanos() as u64).to_json()),
@@ -106,7 +109,11 @@ impl ToJson for CellRow {
 /// uses `lock_timeout` with a microsecond-scale deadline, so a slice of
 /// the population aborts instead of entering.
 fn run_cell(tasks: usize, reps: usize, cancel_every: Option<usize>) -> CellRow {
-    let m = Arc::new(AsyncAbortableMutex::builder(0u64).capacity(CAPACITY).build_async());
+    let m = Arc::new(
+        AsyncAbortableMutex::builder(0u64)
+            .capacity(CAPACITY)
+            .build_async(),
+    );
     let entered = Arc::new(AtomicU64::new(0));
     let aborted = Arc::new(AtomicU64::new(0));
     let ex = Executor::new();
@@ -118,7 +125,10 @@ fn run_cell(tasks: usize, reps: usize, cancel_every: Option<usize>) -> CellRow {
         ex.spawn(async move {
             for r in 0..reps {
                 if cancels {
-                    match m.lock_timeout(Duration::from_micros(((t + r) % 50) as u64)).await {
+                    match m
+                        .lock_timeout(Duration::from_micros(((t + r) % 50) as u64))
+                        .await
+                    {
                         Ok(mut g) => {
                             *g += 1;
                             entered.fetch_add(1, Ordering::Relaxed);
@@ -141,7 +151,11 @@ fn run_cell(tasks: usize, reps: usize, cancel_every: Option<usize>) -> CellRow {
 
     let entered = entered.load(Ordering::Relaxed);
     let aborted = aborted.load(Ordering::Relaxed);
-    assert_eq!(entered + aborted, (tasks * reps) as u64, "a task lost an attempt");
+    assert_eq!(
+        entered + aborted,
+        (tasks * reps) as u64,
+        "a task lost an attempt"
+    );
     assert_eq!(m.free_pids(), CAPACITY, "a pid leaked");
     assert_eq!(m.queued_tasks(), 0, "an admission ticket leaked");
     assert_eq!(m.waiters(), 0);
@@ -149,7 +163,11 @@ fn run_cell(tasks: usize, reps: usize, cancel_every: Option<usize>) -> CellRow {
     let m = Arc::try_unwrap(m).expect("executor drained");
     // The lost-update invariant: the u64 under the mutex must equal the
     // number of passages that entered the critical section.
-    assert_eq!(m.into_inner(), entered, "lost update: mutual exclusion violated");
+    assert_eq!(
+        m.into_inner(),
+        entered,
+        "lost update: mutual exclusion violated"
+    );
     CellRow {
         tasks,
         reps,
@@ -193,7 +211,10 @@ fn cancellation_storm(n: usize) -> StormResult {
     for i in 0..n {
         let mut fut = m.lock();
         for _ in 0..1 + (i % 3) {
-            assert!(poll_once(&mut fut).is_pending(), "the holder never releases");
+            assert!(
+                poll_once(&mut fut).is_pending(),
+                "the holder never releases"
+            );
         }
         drop(fut);
     }
@@ -203,8 +224,16 @@ fn cancellation_storm(n: usize) -> StormResult {
     assert_eq!(m.stats().cancelled_pending, n as u64);
 
     let records = stats.records();
-    let aborted: Vec<u64> = records.iter().filter(|r| !r.entered).map(|r| r.ops).collect();
-    assert_eq!(aborted.len(), n, "every drop must leave exactly one aborted passage");
+    let aborted: Vec<u64> = records
+        .iter()
+        .filter(|r| !r.entered)
+        .map(|r| r.ops)
+        .collect();
+    assert_eq!(
+        aborted.len(),
+        n,
+        "every drop must leave exactly one aborted passage"
+    );
     let max = aborted.iter().copied().max().unwrap_or(0);
     let mean = aborted.iter().sum::<u64>() as f64 / aborted.len().max(1) as f64;
     StormResult {
@@ -303,7 +332,9 @@ fn main() {
     let storm_n = if smoke { 2_000 } else { 10_000 };
     let ccs_waiters: u64 = if smoke { 4 } else { 6 };
 
-    let nprocs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let nprocs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mode = if smoke { "smoke" } else { "full" };
     println!(
         "asyncscale ({mode}): tasks {task_counts:?} × cancel {cancel_rates:?}, \
@@ -319,7 +350,15 @@ fn main() {
     }
     let mut table = Table::new(
         "M6 — asyncscale: tasks over pids on the mini-executor",
-        &["tasks", "cancel", "entered", "aborted", "entered/s", "pid waits", "futile wakes"],
+        &[
+            "tasks",
+            "cancel",
+            "entered",
+            "aborted",
+            "entered/s",
+            "pid waits",
+            "futile wakes",
+        ],
     );
     for r in &rows {
         table.row(vec![

@@ -238,8 +238,7 @@ fn bqueue(cfg: &CellCfg) -> CellResult {
             let mut h = m.handle();
             let abort_every = cfg.abort_every;
             joins.push(s.spawn(move || {
-                let pred =
-                    move |s: &Bq| !s.q.is_empty() || s.producers_done == producers;
+                let pred = move |s: &Bq| !s.q.is_empty() || s.producers_done == producers;
                 let mut aborts = 0u64;
                 let mut waits = 0usize;
                 loop {
@@ -426,10 +425,13 @@ fn aggregate(rows: &[Row], scenario: &str, policy: WakePolicy) -> (u64, u64) {
 }
 
 fn main() {
-    let smoke = sal_bench::Cli::new("ccsscale", "conditional-critical-section throughput benchmark")
-        .flag("--smoke", "CI-sized run")
-        .parse_env_or_exit()
-        .smoke();
+    let smoke = sal_bench::Cli::new(
+        "ccsscale",
+        "conditional-critical-section throughput benchmark",
+    )
+    .flag("--smoke", "CI-sized run")
+    .parse_env_or_exit()
+    .smoke();
     let thread_counts: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8] };
     let abort_rates: &[Option<usize>] = &[None, Some(8)];
     let items = if smoke { 300 } else { 2_000 };
@@ -472,7 +474,14 @@ fn main() {
     let mut table = Table::new(
         "M5 — ccsscale: wakeups per state transition, evaluate vs broadcast",
         &[
-            "scenario", "policy", "thr", "abort", "wake/trans", "futile", "waits", "aborts",
+            "scenario",
+            "policy",
+            "thr",
+            "abort",
+            "wake/trans",
+            "futile",
+            "waits",
+            "aborts",
         ],
     );
     for r in &rows {

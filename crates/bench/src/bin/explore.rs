@@ -40,8 +40,8 @@ fn cli() -> Cli {
     .opt(
         "--lock",
         "kind",
-        "one-shot | one-shot-plain | one-shot-dsm | long-lived | long-lived-simple | \
-         mcs | ticket | tas | tournament | scott | lee (default one-shot)",
+        "any registry kind, e.g. one-shot | long-lived | mcs | tournament | scott | lee | \
+         jj-amortized (default one-shot; a wrong name lists them all)",
     )
     .opt("--b", "2..=64", "tree branching factor (default 4)")
     .opt(
@@ -49,7 +49,11 @@ fn cli() -> Cli {
         "procs",
         "number of processes (default 3; keep small — the schedule space is exponential)",
     )
-    .opt("--aborters", "k", "processes playing the aborter role (default 0)")
+    .opt(
+        "--aborters",
+        "k",
+        "processes playing the aborter role (default 0)",
+    )
     .opt(
         "--abort-after",
         "s",
@@ -66,30 +70,33 @@ fn cli() -> Cli {
         "s",
         "per-run step limit / livelock detector (default 200000)",
     )
+    .strategy_opt()
     .opt(
-        "--strategy",
-        "s",
-        "search strategy: bfs | dpor | best-first | fuzz (default bfs)",
+        "--seed",
+        "u64",
+        "fuzzer seed (default 1; fuzz strategy only)",
     )
-    .opt("--seed", "u64", "fuzzer seed (default 1; fuzz strategy only)")
     .opt(
         "--deviations",
         "d",
         "max deviations from round-robin per schedule (default 2)",
     )
-    .opt("--max-runs", "r", "hard cap on executed schedules (default 4000)")
-    .opt("--depth", "s", "branch-point depth cap per run (default 80)")
+    .opt(
+        "--max-runs",
+        "r",
+        "hard cap on executed schedules (default 4000)",
+    )
+    .opt(
+        "--depth",
+        "s",
+        "branch-point depth cap per run (default 80)",
+    )
     .opt(
         "--jobs",
         "k",
         "worker threads (0 = auto; SAL_JOBS honoured; results are identical at any value)",
     )
-    .opt(
-        "--lease",
-        "k",
-        "step-lease cap: 0 = unbounded, 1 = legacy per-step, k = capped \
-         (default from SAL_LEASE, else 0; the result is identical at any value)",
-    )
+    .lease_opt()
 }
 
 fn main() {
@@ -112,12 +119,7 @@ fn main() {
         if aborters > 0 && !kind.abortable() {
             return Err(format!("{} is not abortable", kind.label()));
         }
-        let strategy = match p.get_or::<Strategy>("--strategy", Strategy::Bfs)? {
-            Strategy::Fuzz { .. } => Strategy::Fuzz {
-                seed: p.get_or("--seed", 1)?,
-            },
-            s => s,
-        };
+        let strategy = p.strategy()?.unwrap_or(Strategy::Bfs);
         let cell = ExploreCell {
             kind,
             n,
@@ -126,7 +128,7 @@ fn main() {
             passages: p.get_or("--passages", 1)?,
             cs_ops: p.get_or("--cs-ops", 2)?,
             max_steps: p.get_or("--max-steps", 200_000)?,
-            lease: p.get_or("--lease", sal_runtime::default_lease())?,
+            lease: p.lease()?,
         };
         let opts = ExploreOptions {
             max_deviations: p.get_or("--deviations", 2)?,

@@ -183,7 +183,11 @@ fn equivalence_gate(jobs: usize, fuzz_seed: u64) -> Table {
         jobs,
         ..ExploreOptions::default()
     };
-    let fuzz = explore_guided(&fuzz_opts, Strategy::Fuzz { seed: fuzz_seed }, broken_lock_guided);
+    let fuzz = explore_guided(
+        &fuzz_opts,
+        Strategy::Fuzz { seed: fuzz_seed },
+        broken_lock_guided,
+    );
     t.row(vec![
         "racy test-then-set".into(),
         "fuzz".into(),

@@ -242,16 +242,20 @@ fn logw(jobs: usize) {
 }
 
 /// E7: Figure 5 / §6 — the long-lived transformation across many
-/// instance switches, simple vs bounded.
+/// instance switches, simple vs bounded, with every other long-lived
+/// abortable kind in the registry alongside for scale. The row set is
+/// registry-driven: a newly registered kind shows up here without
+/// touching this file (`switches` stays 0 for locks that are not
+/// instance-switching wrappers).
 fn fig5(jobs: usize) {
     let mut table = Table::new(
         "E7 — Figure 5: long-lived lock across instance switches (N = 8, 8 passages each, 2 aborters)",
         &["implementation", "max RMRs/passage", "mean RMRs/passage", "switches", "steps", "safe"],
     );
-    let kinds = [
-        LockKind::LongLivedSimple { b: 16 },
-        LockKind::LongLived { b: 16 },
-    ];
+    let kinds: Vec<LockKind> = LockKind::all(16)
+        .into_iter()
+        .filter(|k| !k.one_shot() && k.abortable())
+        .collect();
     // Each cell runs with its own export log + per-kind log (an owned
     // `(A, B)` probe pair observing the same run); the export logs are
     // absorbed in cell order afterwards.

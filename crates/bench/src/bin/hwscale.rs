@@ -27,11 +27,11 @@
 //! cost, not parallel contention — see EXPERIMENTS.md M4).
 
 use sal_baselines::{LeeLock, McsLock, ScottLock, TasLock, TicketLock, TournamentLock};
-use sal_bench::{LockKind, Table};
-use sal_core::long_lived::{BoundedLongLivedLock, SimpleLongLivedLock};
+use sal_bench::{amortized_companion, LockKind, Table};
+use sal_core::long_lived::{BoundedLongLivedLock, JjLock, SimpleLongLivedLock};
 use sal_core::{AbortableLock, DynLock, Immediate, LockCore};
 use sal_memory::{MemoryBuilder, NeverAbort, RawMemory};
-use sal_obs::{Histogram, Json, NoProbe, ToJson};
+use sal_obs::{AmortizedStats, Histogram, Json, NoProbe, ToJson};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::{Duration, Instant};
@@ -226,9 +226,11 @@ where
 /// fixed-duration throughput loop.
 fn run_cell(kind: LockKind, threads: usize, cfg: &CellCfg) -> (PathResult, PathResult) {
     match kind {
-        LockKind::LongLived { b } => {
-            bench_cell(|mb, n, _| BoundedLongLivedLock::layout(mb, n, b), threads, cfg)
-        }
+        LockKind::LongLived { b } => bench_cell(
+            |mb, n, _| BoundedLongLivedLock::layout(mb, n, b),
+            threads,
+            cfg,
+        ),
         LockKind::LongLivedSimple { b } => bench_cell(
             |mb, n, a| SimpleLongLivedLock::layout(mb, n, b, a + 1),
             threads,
@@ -240,6 +242,7 @@ fn run_cell(kind: LockKind, threads: usize, cfg: &CellCfg) -> (PathResult, PathR
         LockKind::Tournament => bench_cell(|mb, n, _| TournamentLock::layout(mb, n), threads, cfg),
         LockKind::Scott => bench_cell(|mb, n, a| ScottLock::layout(mb, n, a + 1), threads, cfg),
         LockKind::Lee => bench_cell(|mb, n, a| LeeLock::layout(mb, n, a + 1), threads, cfg),
+        LockKind::JjAmortized => bench_cell(|mb, n, _| JjLock::layout(mb, n), threads, cfg),
         LockKind::OneShot { .. } | LockKind::OneShotPlain { .. } | LockKind::OneShotDsm { .. } => {
             unreachable!("one-shot kinds are excluded from the hwscale grid")
         }
@@ -261,6 +264,11 @@ struct CellRow {
     abort_every: Option<usize>,
     mono: PathResult,
     dynd: PathResult,
+    /// Run-scoped amortized RMR accounting from the CC-instrumented
+    /// companion run ([`amortized_companion`]).
+    amortized: AmortizedStats,
+    /// Companion probe totals == CC ground-truth counters, bit-exact.
+    accounting_ok: bool,
 }
 
 impl CellRow {
@@ -284,6 +292,8 @@ impl ToJson for CellRow {
             ("mono", self.mono.to_json()),
             ("dyn", self.dynd.to_json()),
             ("speedup", self.speedup().to_json()),
+            ("amortized", self.amortized.to_json()),
+            ("accounting_ok", self.accounting_ok.to_json()),
         ])
     }
 }
@@ -317,18 +327,16 @@ fn main() {
             LockKind::Mcs,
             LockKind::Scott,
             LockKind::LongLived { b },
+            LockKind::JjAmortized,
         ]
     } else {
-        vec![
-            LockKind::Tas,
-            LockKind::Ticket,
-            LockKind::Mcs,
-            LockKind::Tournament,
-            LockKind::Scott,
-            LockKind::Lee,
-            LockKind::LongLivedSimple { b },
-            LockKind::LongLived { b },
-        ]
+        // Registry-driven: every kind that can sustain a fixed-duration
+        // loop (one-shot kinds cannot — each process enters at most
+        // once). New kinds appear here automatically.
+        LockKind::all(b)
+            .into_iter()
+            .filter(|k| !k.one_shot())
+            .collect()
     };
     if let Some(k) = only {
         let k = k.with_branching(b);
@@ -370,12 +378,16 @@ fn main() {
                     attempt_budget: arena_based(kind).then_some(budget),
                 };
                 let (mono, dynd) = run_cell(kind, threads, &cfg);
+                let (amortized, accounting_ok) =
+                    amortized_companion(kind, threads, abort_every, if smoke { 100 } else { 400 });
                 rows.push(CellRow {
                     lock: kind.label(),
                     threads,
                     abort_every,
                     mono,
                     dynd,
+                    amortized,
+                    accounting_ok,
                 });
             }
         }
@@ -384,10 +396,23 @@ fn main() {
     let mut table = Table::new(
         "M4 — hwscale: mono vs dyn dispatch, real threads on RawMemory",
         &[
-            "lock", "thr", "abort", "mono/s", "dyn/s", "speedup", "mono p99 ns", "dyn p99 ns",
+            "lock",
+            "thr",
+            "abort",
+            "mono/s",
+            "dyn/s",
+            "speedup",
+            "mono p99 ns",
+            "dyn p99 ns",
+            "amort rmr",
         ],
     );
     for r in &rows {
+        assert!(
+            r.accounting_ok,
+            "{} @ {} threads: companion probe totals diverged from CC ground truth",
+            r.lock, r.threads
+        );
         table.row(vec![
             r.lock.clone(),
             r.threads.to_string(),
@@ -403,6 +428,7 @@ fn main() {
                 .lat
                 .quantile(0.99)
                 .map_or("-".into(), |v| v.to_string()),
+            format!("{:.1}", r.amortized.amortized_rmrs),
         ]);
     }
     table.print();
@@ -440,7 +466,10 @@ fn main() {
         ("bench", "hwscale".to_json()),
         ("mode", mode.to_json()),
         ("available_parallelism", (nprocs as u64).to_json()),
-        ("duration_ms_per_cell", (duration.as_millis() as u64).to_json()),
+        (
+            "duration_ms_per_cell",
+            (duration.as_millis() as u64).to_json(),
+        ),
         ("target_speedup", TARGET_SPEEDUP.to_json()),
         ("best_contended_speedup", best.to_json()),
         ("target_met", target_met.to_json()),

@@ -7,19 +7,25 @@
 //!     --seed 42 --policy random --cs-ops 2
 //! ```
 //!
-//! Locks: `one-shot`, `one-shot-plain`, `one-shot-dsm`, `long-lived`,
-//! `long-lived-simple`, `mcs`, `ticket`, `tas`, `tournament`, `scott`,
-//! `lee`. Policies: `random`, `round-robin`, `bursty`.
+//! Locks: every registry kind (`--lock` with a wrong name lists them
+//! all, `jj-amortized` included). Policies: `random`, `round-robin`,
+//! `bursty`.
 //!
 //! `--seeds a,b,c` runs the same configuration once per seed — fanned
 //! out over the work-stealing pool (`--jobs N` / `SAL_JOBS`) and
 //! gathered in seed order — printing one row per seed plus an
 //! aggregate, so the output is identical at any worker count.
+//!
+//! `--strategy bfs|dpor|best-first|fuzz` switches from sampled
+//! schedules to *guided search*: the same cell is explored under the
+//! chosen strategy (ignoring `--policy`/`--seeds`) and the worst
+//! schedule found is reported — keep `--n` small, the schedule space
+//! is exponential.
 
-use sal_bench::{build_lock, par_grid, LockKind, Table};
+use sal_bench::{build_lock, par_grid, ExploreCell, LockKind, Table};
 use sal_runtime::{
-    run_lock, run_one_shot, BurstySchedule, ProcPlan, RandomSchedule, RoundRobin, SchedulePolicy,
-    WorkloadSpec,
+    explore_guided, run_lock, run_one_shot, BurstySchedule, ExploreOptions, ProcPlan,
+    RandomSchedule, RoundRobin, SchedulePolicy, Strategy, WorkloadSpec,
 };
 
 #[derive(Debug)]
@@ -36,6 +42,7 @@ struct Args {
     cs_ops: usize,
     jobs: usize,
     lease: u64,
+    strategy: Option<Strategy>,
 }
 
 impl Default for Args {
@@ -53,6 +60,7 @@ impl Default for Args {
             cs_ops: 2,
             jobs: 0,
             lease: sal_runtime::default_lease(),
+            strategy: None,
         }
     }
 }
@@ -65,25 +73,49 @@ fn cli() -> sal_bench::Cli {
     .opt(
         "--lock",
         "kind",
-        "one-shot | one-shot-plain | one-shot-dsm | long-lived | long-lived-simple | \
-         mcs | ticket | tas | tournament | scott | lee",
+        "any registry kind, e.g. one-shot | long-lived | mcs | tournament | scott | lee | \
+         jj-amortized (a wrong name lists them all)",
     )
-    .opt("--b", "2..=64", "tree branching factor for the paper's locks (default 16)")
-    .opt("--n", "procs", "number of processes (default 16)")
-    .opt("--aborters", "k", "how many processes play the aborter role (default 0)")
-    .opt("--abort-after", "s", "abort after waiting this many global steps (default 64)")
-    .opt("--passages", "k", "passages per process (forced to 1 for one-shot locks)")
-    .opt("--seed", "u64", "schedule seed (default 1)")
-    .opt("--seeds", "a,b,c", "run once per seed in parallel; one row per seed + aggregate")
-    .opt("--policy", "p", "random | round-robin | bursty (default random)")
-    .opt("--cs-ops", "k", "shared ops inside the CS (default 2)")
-    .opt("--jobs", "k", "worker threads for --seeds fan-out (0 = auto; SAL_JOBS honoured)")
     .opt(
-        "--lease",
-        "k",
-        "step-lease cap: 0 = unbounded, 1 = legacy per-step, k = capped \
-         (default from SAL_LEASE, else 0; same results at any value)",
+        "--b",
+        "2..=64",
+        "tree branching factor for the paper's locks (default 16)",
     )
+    .opt("--n", "procs", "number of processes (default 16)")
+    .opt(
+        "--aborters",
+        "k",
+        "how many processes play the aborter role (default 0)",
+    )
+    .opt(
+        "--abort-after",
+        "s",
+        "abort after waiting this many global steps (default 64)",
+    )
+    .opt(
+        "--passages",
+        "k",
+        "passages per process (forced to 1 for one-shot locks)",
+    )
+    .opt("--seed", "u64", "schedule seed (default 1)")
+    .opt(
+        "--seeds",
+        "a,b,c",
+        "run once per seed in parallel; one row per seed + aggregate",
+    )
+    .opt(
+        "--policy",
+        "p",
+        "random | round-robin | bursty (default random)",
+    )
+    .opt("--cs-ops", "k", "shared ops inside the CS (default 2)")
+    .opt(
+        "--jobs",
+        "k",
+        "worker threads for --seeds fan-out (0 = auto; SAL_JOBS honoured)",
+    )
+    .lease_opt()
+    .strategy_opt()
 }
 
 fn parse() -> Result<Args, String> {
@@ -106,7 +138,8 @@ fn parse() -> Result<Args, String> {
     }
     args.cs_ops = p.get_or("--cs-ops", args.cs_ops)?;
     args.jobs = p.get_or("--jobs", args.jobs)?;
-    args.lease = p.get_or("--lease", args.lease)?;
+    args.lease = p.lease()?;
+    args.strategy = p.strategy()?;
     Ok(args)
 }
 
@@ -221,6 +254,60 @@ fn multi_seed(kind: LockKind, args: &Args) {
     }
 }
 
+/// `--strategy`: explore schedules for the configured cell instead of
+/// sampling them, and report the worst one found. The same cell fields
+/// (`--lock --b --n --aborters --abort-after --passages --cs-ops
+/// --lease`) define the workload; the strategy defines the search.
+fn guided(kind: LockKind, args: &Args, strategy: Strategy) {
+    let cell = ExploreCell {
+        kind,
+        n: args.n,
+        aborters: args.aborters,
+        abort_after: args.abort_after,
+        passages: args.passages,
+        cs_ops: args.cs_ops,
+        max_steps: 200_000,
+        lease: args.lease,
+    };
+    let opts = ExploreOptions {
+        jobs: args.jobs,
+        ..ExploreOptions::default()
+    };
+    let result = explore_guided(&opts, strategy, |policy| cell.guided_run(policy));
+    let mut t = Table::new(
+        format!(
+            "sweep --strategy {} | {} N={} aborters={} lease={}",
+            strategy.label(),
+            kind.label(),
+            args.n,
+            args.aborters,
+            args.lease
+        ),
+        &["metric", "value"],
+    );
+    t.row(vec!["schedules executed".into(), result.runs.to_string()]);
+    t.row(vec![
+        "worst max RMRs/passage found".into(),
+        result.best_cost.to_string(),
+    ]);
+    t.row(vec![
+        "truncated (unexecuted prefixes)".into(),
+        result.truncated_runs.to_string(),
+    ]);
+    t.row(vec![
+        "verdict".into(),
+        match &result.violation {
+            None => "all explored schedules safe".into(),
+            Some((_, msg)) => format!("VIOLATION: {msg}"),
+        },
+    ]);
+    t.print();
+    if let Some(rec) = result.violation_recording() {
+        println!("witness recording (replayable): {}", rec.serialize());
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = match parse() {
         Ok(a) => a,
@@ -249,6 +336,10 @@ fn main() {
     if args.aborters > 0 && !kind.abortable() {
         eprintln!("error: {} is not abortable", kind.label());
         std::process::exit(2);
+    }
+    if let Some(strategy) = args.strategy {
+        guided(kind, &args, strategy);
+        return;
     }
     if !args.seeds.is_empty() {
         multi_seed(kind, &args);

@@ -29,7 +29,7 @@
 //! ```
 
 use crate::grid::parse_list;
-use sal_runtime::pool;
+use sal_runtime::{pool, Strategy};
 
 /// One declared flag: `--name` (boolean when `placeholder` is `None`,
 /// valued otherwise) plus its help line.
@@ -73,7 +73,12 @@ impl Cli {
     /// Declare a valued flag, e.g. `--seeds a,b,c`. Accepts both
     /// `--name value` and `--name=value` on the command line;
     /// `placeholder` is only for the usage text.
-    pub fn opt(mut self, name: &'static str, placeholder: &'static str, help: &'static str) -> Self {
+    pub fn opt(
+        mut self,
+        name: &'static str,
+        placeholder: &'static str,
+        help: &'static str,
+    ) -> Self {
         assert!(name.starts_with("--"), "flag names start with --");
         self.specs.push(Spec {
             name,
@@ -81,6 +86,29 @@ impl Cli {
             help,
         });
         self
+    }
+
+    /// Declare the shared `--strategy` flag with the standard help
+    /// text: guided schedule search, read back by
+    /// [`Parsed::strategy`]. Declare `--seed` separately if the binary
+    /// wants a non-default fuzzer seed.
+    pub fn strategy_opt(self) -> Self {
+        self.opt(
+            "--strategy",
+            "s",
+            "guided schedule search: bfs | dpor | best-first | fuzz (--seed seeds the fuzzer)",
+        )
+    }
+
+    /// Declare the shared `--lease` flag with the standard help text,
+    /// read back by [`Parsed::lease`].
+    pub fn lease_opt(self) -> Self {
+        self.opt(
+            "--lease",
+            "k",
+            "step-lease cap: 0 = unbounded, 1 = legacy per-step, k = capped \
+             (default from SAL_LEASE, else 0; same results at any value)",
+        )
     }
 
     /// The generated usage block: one summary line plus one line per
@@ -160,7 +188,9 @@ impl Cli {
                 }
                 (Some(_), Some(v)) => parsed.values.push((spec.name, v)),
                 (Some(_), None) => {
-                    let v = it.next().ok_or_else(|| format!("flag {name} needs a value"))?;
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("flag {name} needs a value"))?;
                     parsed.values.push((spec.name, v));
                 }
             }
@@ -290,6 +320,33 @@ impl Parsed {
     pub fn seeds(&self) -> Result<Option<Vec<u64>>, String> {
         self.list("--seeds")
     }
+
+    /// `--strategy s` as a guided-search [`Strategy`], or `None` when
+    /// absent. The fuzz strategy picks up `--seed` (default 1) so
+    /// every binary seeds it the same way.
+    ///
+    /// # Errors
+    ///
+    /// When the strategy name or the seed fails to parse.
+    pub fn strategy(&self) -> Result<Option<Strategy>, String> {
+        match self.get::<Strategy>("--strategy")? {
+            Some(Strategy::Fuzz { .. }) => Ok(Some(Strategy::Fuzz {
+                seed: self.get_or("--seed", 1)?,
+            })),
+            s => Ok(s),
+        }
+    }
+
+    /// `--lease k`, defaulting through `SAL_LEASE` exactly like
+    /// [`sal_runtime::default_lease`] — so an absent flag and the
+    /// environment agree across every binary.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not an integer.
+    pub fn lease(&self) -> Result<u64, String> {
+        self.get_or("--lease", sal_runtime::default_lease())
+    }
 }
 
 #[cfg(test)]
@@ -357,6 +414,28 @@ mod tests {
         assert!(p.jobs().unwrap() >= 1, "absent flag resolves to auto");
         let p = demo().parse(args(&["--jobs", "x"])).unwrap();
         assert!(p.jobs().is_err());
+    }
+
+    #[test]
+    fn shared_strategy_and_lease_vocabulary() {
+        let shared = || {
+            Cli::new("demo", "demo driver")
+                .strategy_opt()
+                .lease_opt()
+                .opt("--seed", "u64", "fuzzer seed")
+        };
+        let p = shared().parse(args(&[])).unwrap();
+        assert_eq!(p.strategy().unwrap(), None);
+        assert_eq!(p.lease().unwrap(), sal_runtime::default_lease());
+        let p = shared().parse(args(&["--strategy", "dpor"])).unwrap();
+        assert_eq!(p.strategy().unwrap(), Some(Strategy::Dpor));
+        let p = shared()
+            .parse(args(&["--strategy=fuzz", "--seed=9", "--lease", "4"]))
+            .unwrap();
+        assert_eq!(p.strategy().unwrap(), Some(Strategy::Fuzz { seed: 9 }));
+        assert_eq!(p.lease().unwrap(), 4);
+        let p = shared().parse(args(&["--strategy", "bogus"])).unwrap();
+        assert!(p.strategy().is_err(), "unknown strategy must fail loudly");
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub use grid::{par_grid, parse_jobs_args};
 pub use registry::{build_lock, LockKind};
 pub use report::{export_events, save_json, save_json_with_log, RmrSummary, Table};
 pub use workloads::{
-    adaptive_sweep, adaptive_sweep_probed, no_abort_sweep, no_abort_sweep_probed, space_row,
-    worst_case_sweep, worst_case_sweep_probed, ExploreCell, SweepPoint,
+    adaptive_sweep, adaptive_sweep_probed, amortized_companion, amortized_sweep, no_abort_sweep,
+    no_abort_sweep_probed, space_row, worst_case_sweep, worst_case_sweep_probed, AmortizedPoint,
+    ExploreCell, SweepPoint,
 };

@@ -1,7 +1,7 @@
 //! Build any lock in the workspace by kind, with its memory.
 
 use sal_baselines::{LeeLock, McsLock, ScottLock, TasLock, TicketLock, TournamentLock};
-use sal_core::long_lived::{BoundedLongLivedLock, SimpleLongLivedLock};
+use sal_core::long_lived::{BoundedLongLivedLock, JjLock, SimpleLongLivedLock};
 use sal_core::one_shot::{DsmOneShotLock, OneShotLock};
 use sal_core::tree::Ascent;
 use sal_core::AbortableLock;
@@ -48,6 +48,9 @@ pub enum LockKind {
     Scott,
     /// Lee-style F&A+SWAP abortable array lock.
     Lee,
+    /// Jayanti–Jayanti-style constant-amortized-RMR abortable queue
+    /// lock (abandon-on-abort + promotion walk).
+    JjAmortized,
 }
 
 impl LockKind {
@@ -64,6 +67,7 @@ impl LockKind {
         "tournament",
         "scott",
         "lee",
+        "jj-amortized",
     ];
 
     /// Short label for tables.
@@ -80,6 +84,7 @@ impl LockKind {
             LockKind::Tournament => "tournament".into(),
             LockKind::Scott => "scott".into(),
             LockKind::Lee => "lee".into(),
+            LockKind::JjAmortized => "jj-amortized".into(),
         }
     }
 
@@ -116,6 +121,7 @@ impl LockKind {
             "tournament" => LockKind::Tournament,
             "scott" => LockKind::Scott,
             "lee" => LockKind::Lee,
+            "jj-amortized" => LockKind::JjAmortized,
             other => {
                 return Err(format!(
                     "unknown lock {other}; valid kinds: {}",
@@ -140,16 +146,40 @@ impl LockKind {
         }
     }
 
+    /// Every registered kind, in [`NAMES`](Self::NAMES) order, at
+    /// branching factor `b` for the tree-based kinds — the single
+    /// registry-driven source for "run this over everything" loops
+    /// (`table1`'s amortized column, `figures`, conformance grids).
+    pub fn all(b: usize) -> Vec<LockKind> {
+        Self::NAMES
+            .iter()
+            .map(|name| LockKind::parse(name, b).expect("every NAMES entry parses"))
+            .collect()
+    }
+
+    /// Whether the kind is a row of the Table-1 comparison: the
+    /// abortable contenders, minus the ablation/model variants
+    /// (`one-shot-plain`, `one-shot-dsm`, the unbounded-pool
+    /// `long-lived-simple`) and the unbounded-RMR `tas` strawman.
+    /// New kinds appear in `table1`/`figures` automatically unless
+    /// they opt out here.
+    pub fn in_table1(self) -> bool {
+        self.abortable()
+            && !matches!(
+                self,
+                LockKind::OneShotPlain { .. }
+                    | LockKind::OneShotDsm { .. }
+                    | LockKind::LongLivedSimple { .. }
+                    | LockKind::Tas
+            )
+    }
+
     /// The abortable contenders of Table 1 (rows of the comparison), at
-    /// a given branching factor for our algorithms.
+    /// a given branching factor for our algorithms — derived from
+    /// [`NAMES`](Self::NAMES) via [`in_table1`](Self::in_table1), never
+    /// hand-listed.
     pub fn table1_rows(b: usize) -> Vec<LockKind> {
-        vec![
-            LockKind::Scott,
-            LockKind::Tournament,
-            LockKind::Lee,
-            LockKind::OneShot { b },
-            LockKind::LongLived { b },
-        ]
+        Self::all(b).into_iter().filter(|k| k.in_table1()).collect()
     }
 }
 
@@ -207,6 +237,7 @@ pub fn build_lock(kind: LockKind, n: usize, attempts: usize) -> BuiltLock {
         LockKind::Tournament => Box::new(TournamentLock::layout(&mut b, n)),
         LockKind::Scott => Box::new(ScottLock::layout(&mut b, n, attempts + 1)),
         LockKind::Lee => Box::new(LeeLock::layout(&mut b, n, attempts + 1)),
+        LockKind::JjAmortized => Box::new(JjLock::layout(&mut b, n)),
     };
     let words = b.words_allocated();
     let cs_word = b.alloc(0);
@@ -225,20 +256,8 @@ mod tests {
 
     #[test]
     fn every_kind_builds_and_takes_a_passage() {
-        let kinds = [
-            LockKind::OneShot { b: 4 },
-            LockKind::OneShotPlain { b: 4 },
-            LockKind::OneShotDsm { b: 4 },
-            LockKind::LongLivedSimple { b: 4 },
-            LockKind::LongLived { b: 4 },
-            LockKind::Mcs,
-            LockKind::Ticket,
-            LockKind::Tas,
-            LockKind::Tournament,
-            LockKind::Scott,
-            LockKind::Lee,
-        ];
-        for kind in kinds {
+        // Registry-driven: every NAMES entry must build and run.
+        for kind in LockKind::all(4) {
             let built = build_lock(kind, 4, 16);
             let outcome = built
                 .lock
@@ -255,9 +274,26 @@ mod tests {
         assert!(!LockKind::Mcs.abortable());
         assert!(!LockKind::Ticket.abortable());
         assert!(LockKind::Scott.abortable());
+        assert!(LockKind::JjAmortized.abortable());
+        assert!(!LockKind::JjAmortized.one_shot());
         assert!(LockKind::OneShot { b: 2 }.one_shot());
         assert!(!LockKind::LongLived { b: 2 }.one_shot());
-        assert_eq!(LockKind::table1_rows(8).len(), 5);
+        assert_eq!(LockKind::all(8).len(), LockKind::NAMES.len());
+        // Table-1 rows are registry-driven: the abortable contenders,
+        // in NAMES order, with the ablation variants and tas opted out.
+        let rows = LockKind::table1_rows(8);
+        assert_eq!(
+            rows,
+            vec![
+                LockKind::OneShot { b: 8 },
+                LockKind::LongLived { b: 8 },
+                LockKind::Tournament,
+                LockKind::Scott,
+                LockKind::Lee,
+                LockKind::JjAmortized,
+            ]
+        );
+        assert!(rows.iter().all(|k| k.abortable() && k.in_table1()));
     }
 
     #[test]
@@ -274,6 +310,7 @@ mod tests {
             ("tournament", LockKind::Tournament),
             ("scott", LockKind::Scott),
             ("lee", LockKind::Lee),
+            ("jj-amortized", LockKind::JjAmortized),
         ] {
             assert_eq!(LockKind::parse(name, 8).unwrap(), want);
         }

@@ -1,8 +1,9 @@
 //! The workload builders behind every Table-1 column.
 
 use crate::registry::{build_lock, LockKind};
-use sal_memory::Layered;
-use sal_obs::{Json, NoProbe, Probe, ToJson};
+use sal_core::Immediate;
+use sal_memory::{Layered, Mem, NeverAbort};
+use sal_obs::{AmortizedStats, Json, NoProbe, PassageStats, Probe, ToJson};
 use sal_runtime::{
     run_lock, run_lock_probed, run_one_shot, run_one_shot_probed, ForcedSchedule, GuidedOutcome,
     OpTraceSink, ProcPlan, RandomSchedule, SimError, WorkloadSpec,
@@ -194,6 +195,161 @@ pub fn space_row(kind: LockKind, n: usize, attempts: usize) -> usize {
     build_lock(kind, n, attempts).words
 }
 
+/// One run-scoped amortized accounting cell: a lock kind at one `N`,
+/// measured over several merged runs (see [`amortized_sweep`]).
+#[derive(Debug, Clone)]
+pub struct AmortizedPoint {
+    /// Lock label.
+    pub lock: String,
+    /// Number of processes.
+    pub n: usize,
+    /// Aborters per run (half the crowd for abortable kinds).
+    pub aborters: usize,
+    /// Independent runs merged into the totals.
+    pub rounds: usize,
+    /// Max RMRs over *entered* passages — the retained worst-case
+    /// column of Table 1.
+    pub max_entered_rmrs: u64,
+    /// The run-scoped totals: cumulative RMRs, passage/abort counts,
+    /// max single-passage debt, amortized per-passage cost.
+    pub stats: AmortizedStats,
+    /// Whether mutual exclusion held in every run (it must).
+    pub mutex_ok: bool,
+    /// Whether every run's probe-side cumulative RMRs matched the
+    /// memory's ground-truth counters bit-exactly (it must).
+    pub accounting_ok: bool,
+}
+
+impl ToJson for AmortizedPoint {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("lock", self.lock.to_json()),
+            ("n", Json::Int(self.n as i64)),
+            ("aborters", Json::Int(self.aborters as i64)),
+            ("rounds", Json::Int(self.rounds as i64)),
+            ("max_entered_rmrs", self.max_entered_rmrs.to_json()),
+            ("amortized", self.stats.to_json()),
+            ("mutex_ok", self.mutex_ok.to_json()),
+            ("accounting_ok", self.accounting_ok.to_json()),
+        ])
+    }
+}
+
+/// Table 1, "Amortized" column (M9): run-scoped accounting for any
+/// kind. Each of the `rounds` runs gives every process `passages`
+/// attempts (1 for one-shot kinds) with half the crowd aborting when
+/// the kind is abortable — the abandonment-heavy shape under which a
+/// constant-amortized lock stays flat while per-passage-bounded tree
+/// locks grow with `N`. Per-run [`sal_obs::PassageStats`] sinks are
+/// folded with `merge_from`, and every run's cumulative probe-side
+/// RMRs are cross-checked bit-exactly against the memory's ground
+/// truth ([`AmortizedPoint::accounting_ok`]).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the underlying runs.
+pub fn amortized_sweep(
+    kind: LockKind,
+    n: usize,
+    rounds: usize,
+    passages: usize,
+    seed: u64,
+) -> Result<AmortizedPoint, SimError> {
+    assert!(n >= 2);
+    let aborters = if kind.abortable() {
+        (n / 2).min(n - 2)
+    } else {
+        0
+    };
+    let per_proc = if kind.one_shot() { 1 } else { passages };
+    let wait = 8 * n as u64;
+    let master = PassageStats::new();
+    let mut mutex_ok = true;
+    let mut accounting_ok = true;
+    for round in 0..rounds {
+        let mut plans = vec![ProcPlan::normal(per_proc)];
+        plans.extend(vec![ProcPlan::aborter(per_proc, wait); aborters]);
+        plans.extend(vec![ProcPlan::normal(per_proc); n - 1 - aborters]);
+        let attempts: usize = plans.iter().map(|p| p.passages).sum();
+        let built = build_lock(kind, n, attempts);
+        let spec = WorkloadSpec {
+            plans,
+            cs_ops: 2,
+            max_steps: 60_000_000,
+            lease: sal_runtime::default_lease(),
+        };
+        let schedule = Box::new(RandomSchedule::seeded(seed.wrapping_add(round as u64)));
+        let report = if kind.one_shot() {
+            run_one_shot(&*built.lock, &built.mem, built.cs_word, &spec, schedule)?
+        } else {
+            run_lock(&*built.lock, &built.mem, built.cs_word, &spec, schedule)?
+        };
+        mutex_ok &= report.mutex_check.is_ok();
+        // Every shared-memory op of a run happens inside some passage,
+        // so the run's amortized total must equal the cost model's own
+        // cumulative counter exactly — not approximately.
+        accounting_ok &= report.stats.amortized().total_rmrs == built.mem.total_rmrs();
+        master.merge_from(&report.stats);
+    }
+    Ok(AmortizedPoint {
+        lock: kind.label(),
+        n,
+        aborters,
+        rounds,
+        max_entered_rmrs: master.summary().max_entered_rmrs,
+        stats: master.amortized(),
+        mutex_ok,
+        accounting_ok,
+    })
+}
+
+/// CC-instrumented companion of a real-thread benchmark cell: the same
+/// kind at the same thread count and abort pattern, driven by real OS
+/// threads over [`CcMemory`](sal_memory::CcMemory) with a
+/// [`PassageStats`] sink for `attempts_per_thread` attempts per
+/// thread. RMRs do not exist on the raw hardware path, so this is
+/// where a cell's run-scoped amortized cost comes from; the returned
+/// flag records whether the probe-side total matched the cost model's
+/// own counters bit-exactly (it must — each pid's ops run on its own
+/// thread, so per-pid attribution is exact even without the
+/// simulator's step gate). `hwscale` and `arenascale` both surface
+/// this per cell.
+#[must_use]
+pub fn amortized_companion(
+    kind: LockKind,
+    threads: usize,
+    abort_every: Option<usize>,
+    attempts_per_thread: usize,
+) -> (AmortizedStats, bool) {
+    let built = build_lock(kind, threads, threads * attempts_per_thread);
+    let stats = PassageStats::new();
+    std::thread::scope(|s| {
+        for p in 0..threads {
+            let lock = &built.lock;
+            let mem = &built.mem;
+            let stats = stats.clone();
+            s.spawn(move || {
+                for i in 0..attempts_per_thread {
+                    let want_abort = abort_every
+                        .map(|k| (i + p).is_multiple_of(k))
+                        .unwrap_or(false);
+                    let ok = if want_abort {
+                        lock.enter(mem, p, &Immediate, &stats).entered()
+                    } else {
+                        lock.enter(mem, p, &NeverAbort, &stats).entered()
+                    };
+                    if ok {
+                        lock.exit(mem, p, &stats);
+                    }
+                }
+            });
+        }
+    });
+    let a = stats.amortized();
+    let ok = a.total_rmrs == built.mem.total_rmrs();
+    (a, ok)
+}
+
 /// One guided-exploration configuration: a registry lock plus a
 /// deterministic workload, runnable under any forced schedule.
 ///
@@ -295,9 +451,21 @@ impl ExploreCell {
             lease: self.lease,
         };
         let report = if self.kind.one_shot() {
-            run_one_shot(&*built.lock, &traced, built.cs_word, &spec, Box::new(policy))
+            run_one_shot(
+                &*built.lock,
+                &traced,
+                built.cs_word,
+                &spec,
+                Box::new(policy),
+            )
         } else {
-            run_lock(&*built.lock, &traced, built.cs_word, &spec, Box::new(policy))
+            run_lock(
+                &*built.lock,
+                &traced,
+                built.cs_word,
+                &spec,
+                Box::new(policy),
+            )
         };
         // Take the trace before anything else touches the memory — the
         // sink keeps recording after the gate closes.
@@ -378,6 +546,32 @@ mod tests {
             l32 as f64 >= l16 as f64 * 2.5,
             "bounded long-lived space should be quadratic: {l16} → {l32}"
         );
+    }
+
+    #[test]
+    fn amortized_point_merges_rounds_and_matches_ground_truth() {
+        let p = amortized_sweep(LockKind::JjAmortized, 4, 3, 2, 5).unwrap();
+        assert!(p.mutex_ok);
+        assert!(p.accounting_ok, "probe totals must equal memory counters");
+        assert_eq!(p.aborters, 2);
+        // 3 rounds × (2 normal procs × 2 passages + 2 aborters × 2
+        // attempts) = 24 finalized passages.
+        assert_eq!(p.stats.passages, 24);
+        assert_eq!(p.stats.entered + p.stats.aborted, p.stats.passages);
+        assert!(p.stats.total_rmrs > 0);
+        assert!(p.stats.amortized_rmrs > 0.0);
+        assert!(p.stats.max_passage_rmrs as f64 >= p.stats.amortized_rmrs);
+    }
+
+    #[test]
+    fn amortized_point_handles_one_shot_and_non_abortable_kinds() {
+        let p = amortized_sweep(LockKind::OneShot { b: 2 }, 4, 2, 3, 9).unwrap();
+        assert!(p.mutex_ok && p.accounting_ok);
+        assert_eq!(p.stats.passages, 8, "one-shot: 1 attempt per process");
+        let p = amortized_sweep(LockKind::Mcs, 4, 2, 2, 9).unwrap();
+        assert_eq!(p.aborters, 0, "non-abortable kinds run clean");
+        assert_eq!(p.stats.aborted, 0);
+        assert!(p.accounting_ok);
     }
 
     #[test]

@@ -68,7 +68,7 @@ mod tests {
     fn immediate_is_always_set() {
         assert!(Immediate.is_set());
         // And through the reference/Arc forwarding impls.
-        assert!((&Immediate).is_set());
+        assert!(Immediate.is_set());
         assert!(std::sync::Arc::new(Immediate).is_set());
     }
 

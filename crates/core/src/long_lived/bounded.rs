@@ -327,7 +327,10 @@ impl BoundedLongLivedLock {
                         inner: self.proto.begin_enter(),
                     };
                 }
-                BoundedEnterState::Queue { inst, ref mut inner } => {
+                BoundedEnterState::Queue {
+                    inst,
+                    ref mut inner,
+                } => {
                     // Recreate the instance view each poll: machines
                     // hold indices, not memory borrows.
                     let view = self.instances[inst as usize].view(mem);

@@ -21,15 +21,22 @@
 //! * [`BoundedLongLivedLock`] — §6.2: `N + 1` recycled instances with
 //!   versioned lazy reset ([`VersionedInstance`]) and reclaimed spin
 //!   nodes ([`SpinNodePool`]), for `O(N²)` total space (Claim 28).
+//!
+//! The module also hosts [`JjLock`] ([`jj`]), a natively long-lived
+//! abortable lock in the Jayanti–Jayanti constant-*amortized*-RMR
+//! style — a different trade-off from the paper's worst-case bound,
+//! measured by the run-scoped `AmortizedStats` accounting in `sal-obs`.
 
 mod bounded;
 mod desc;
+pub mod jj;
 mod simple;
 mod spin_pool;
 mod versioned;
 
 pub use bounded::{BoundedLongLivedLock, PathStats};
 pub use desc::{SimpleDesc, TaggedDesc, VersionDesc};
+pub use jj::JjLock;
 pub use simple::SimpleLongLivedLock;
 pub use spin_pool::SpinNodePool;
 pub use versioned::{VersionedInstance, VersionedMem};

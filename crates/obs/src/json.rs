@@ -57,6 +57,15 @@ impl Json {
         self.as_i64().and_then(|v| u64::try_from(v).ok())
     }
 
+    /// The numeric value, if this is an `Int` or a `Float`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// The string value, if this is a `Str`.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -67,4 +67,4 @@ pub use hist::Histogram;
 pub use json::{Json, ToJson};
 pub use mem::{probed, ProbeLayer, ProbedMem};
 pub use probe::{Fanout, NoProbe, Probe};
-pub use stats::{PassageRecord, PassageStats, PassageSummary};
+pub use stats::{AmortizedStats, PassageRecord, PassageStats, PassageSummary};

@@ -8,6 +8,7 @@
 //! paper's per-passage complexity statements.
 
 use crate::hist::Histogram;
+use crate::json::{Json, ToJson};
 use crate::probe::Probe;
 use sal_memory::{OpKind, Pid};
 use std::sync::{Arc, Mutex};
@@ -81,6 +82,114 @@ pub struct PassageSummary {
     /// Non-zero means event-level artifacts of this run are truncated;
     /// the statistics themselves are always complete.
     pub dropped_events: u64,
+}
+
+/// Run-scoped amortized accounting: the cumulative-cost view of a run
+/// (or of several merged runs), as opposed to the per-passage view of
+/// [`PassageSummary`].
+///
+/// This is the measured counterpart of an *amortized* complexity claim
+/// in the Jayanti–Jayanti sense: a run's total RMR bill divided by the
+/// number of passages that footed it, together with the largest single
+/// debt any one passage ran up. A lock has constant amortized RMR cost
+/// exactly when [`total_rmrs`](Self::total_rmrs) stays ≤
+/// `c · passages + b` for fixed `c`, `b` — even if
+/// [`max_passage_rmrs`](Self::max_passage_rmrs) occasionally spikes.
+///
+/// Obtain one from [`PassageStats::amortized`], fold independent runs
+/// together with [`merge_from`](Self::merge_from), and ship it through
+/// the JSON codec with [`ToJson`] / [`from_json`](Self::from_json).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmortizedStats {
+    /// Cumulative RMRs over *all* finalized passages (entered and
+    /// aborted alike).
+    pub total_rmrs: u64,
+    /// Total finalized passages (entered + aborted).
+    pub passages: u64,
+    /// Passages that entered the CS.
+    pub entered: u64,
+    /// Aborted attempts.
+    pub aborted: u64,
+    /// Largest RMR bill of any single passage — the worst-case debt one
+    /// passage ran up against the amortized budget.
+    pub max_passage_rmrs: u64,
+    /// `total_rmrs / passages` (0 when the run had no passages).
+    pub amortized_rmrs: f64,
+}
+
+impl AmortizedStats {
+    /// The empty (zero-passage) accounting state.
+    #[must_use]
+    pub fn empty() -> AmortizedStats {
+        AmortizedStats {
+            total_rmrs: 0,
+            passages: 0,
+            entered: 0,
+            aborted: 0,
+            max_passage_rmrs: 0,
+            amortized_rmrs: 0.0,
+        }
+    }
+
+    fn with_ratio(mut self) -> AmortizedStats {
+        self.amortized_rmrs = if self.passages == 0 {
+            0.0
+        } else {
+            self.total_rmrs as f64 / self.passages as f64
+        };
+        self
+    }
+
+    /// Fold another run's totals into this one — the amortized-level
+    /// mirror of [`PassageStats::merge_from`], for fan-ins that only
+    /// kept the aggregate. Counters add, the max-debt takes the max,
+    /// and the amortized ratio is recomputed from the merged totals.
+    pub fn merge_from(&mut self, other: &AmortizedStats) {
+        self.total_rmrs += other.total_rmrs;
+        self.passages += other.passages;
+        self.entered += other.entered;
+        self.aborted += other.aborted;
+        self.max_passage_rmrs = self.max_passage_rmrs.max(other.max_passage_rmrs);
+        *self = self.with_ratio();
+    }
+
+    /// Parse the [`ToJson`] encoding back (artifact round-trips).
+    ///
+    /// # Errors
+    ///
+    /// When a field is missing or has the wrong type.
+    pub fn from_json(v: &Json) -> Result<AmortizedStats, String> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("AmortizedStats: missing/invalid field {k:?}"))
+        };
+        let stats = AmortizedStats {
+            total_rmrs: field("total_rmrs")?,
+            passages: field("passages")?,
+            entered: field("entered")?,
+            aborted: field("aborted")?,
+            max_passage_rmrs: field("max_passage_rmrs")?,
+            amortized_rmrs: v
+                .get("amortized_rmrs")
+                .and_then(Json::as_f64)
+                .ok_or("AmortizedStats: missing/invalid field \"amortized_rmrs\"")?,
+        };
+        Ok(stats.with_ratio())
+    }
+}
+
+impl ToJson for AmortizedStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("total_rmrs", self.total_rmrs.to_json()),
+            ("passages", self.passages.to_json()),
+            ("entered", self.entered.to_json()),
+            ("aborted", self.aborted.to_json()),
+            ("max_passage_rmrs", self.max_passage_rmrs.to_json()),
+            ("amortized_rmrs", self.amortized_rmrs.to_json()),
+        ])
+    }
 }
 
 /// Per-passage RMR + step-latency accounting, fed through the [`Probe`]
@@ -158,6 +267,24 @@ impl PassageStats {
             max_entered_ops: inner.entered_ops.max(),
             dropped_events: inner.dropped_events,
         }
+    }
+
+    /// Run-scoped amortized totals: the cumulative-cost view this sink
+    /// has accumulated so far (across [`merge_from`](Self::merge_from)
+    /// fan-ins too, since histograms combine exactly).
+    pub fn amortized(&self) -> AmortizedStats {
+        let inner = self.inner.lock().unwrap();
+        let entered = inner.entered_rmrs.count();
+        let aborted = inner.aborted_rmrs.count();
+        AmortizedStats {
+            total_rmrs: inner.entered_rmrs.sum() + inner.aborted_rmrs.sum(),
+            passages: entered + aborted,
+            entered,
+            aborted,
+            max_passage_rmrs: inner.entered_rmrs.max().max(inner.aborted_rmrs.max()),
+            amortized_rmrs: 0.0,
+        }
+        .with_ratio()
     }
 
     /// Record that a bounded event log observing the same run dropped
@@ -413,6 +540,61 @@ mod tests {
         let merged = PassageStats::new();
         merged.merge_from(&cell);
         assert_eq!(merged.total_passages(), 1);
+    }
+
+    #[test]
+    fn amortized_totals_cover_entered_and_aborted_passages() {
+        let stats = PassageStats::new();
+        passage(&stats, 0, 2, true);
+        passage(&stats, 1, 14, false); // the expensive abort
+        passage(&stats, 0, 4, true);
+        let a = stats.amortized();
+        assert_eq!(a.total_rmrs, 20);
+        assert_eq!(a.passages, 3);
+        assert_eq!(a.entered, 2);
+        assert_eq!(a.aborted, 1);
+        assert_eq!(a.max_passage_rmrs, 14);
+        assert!((a.amortized_rmrs - 20.0 / 3.0).abs() < 1e-9);
+        // The amortized view agrees with the per-passage summary.
+        assert!((a.amortized_rmrs - stats.summary().amortized_rmrs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amortized_merge_matches_merged_sinks() {
+        let cell_a = PassageStats::new();
+        passage(&cell_a, 0, 3, true);
+        passage(&cell_a, 1, 9, false);
+        let cell_b = PassageStats::new();
+        passage(&cell_b, 0, 5, true);
+
+        // Merging at the sink level and at the amortized level agree.
+        let merged = PassageStats::new();
+        merged.merge_from(&cell_a);
+        merged.merge_from(&cell_b);
+        let mut folded = cell_a.amortized();
+        folded.merge_from(&cell_b.amortized());
+        assert_eq!(folded, merged.amortized());
+        assert_eq!(folded.total_rmrs, 17);
+        assert_eq!(folded.max_passage_rmrs, 9);
+
+        // Merging into the empty state is the identity.
+        let mut from_empty = AmortizedStats::empty();
+        from_empty.merge_from(&folded);
+        assert_eq!(from_empty, folded);
+    }
+
+    #[test]
+    fn amortized_stats_round_trip_through_json() {
+        let stats = PassageStats::new();
+        passage(&stats, 0, 7, true);
+        passage(&stats, 1, 1, false);
+        let a = stats.amortized();
+        let text = a.to_json().render();
+        let back = AmortizedStats::from_json(&crate::json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, a);
+        // Missing fields fail loudly.
+        let bad = crate::json::Json::parse("{\"passages\":1}").unwrap();
+        assert!(AmortizedStats::from_json(&bad).is_err());
     }
 
     #[test]

@@ -53,7 +53,12 @@ trait ArcWake: Send + Sync + 'static {
 /// `const fn`-constructed value is promoted to `'static`, which is what
 /// lets one generic function mint vtables per concrete `W`.
 const fn vtable<W: ArcWake>() -> &'static RawWakerVTable {
-    &RawWakerVTable::new(clone_arc::<W>, wake_arc::<W>, wake_by_ref_arc::<W>, drop_arc::<W>)
+    &RawWakerVTable::new(
+        clone_arc::<W>,
+        wake_arc::<W>,
+        wake_by_ref_arc::<W>,
+        drop_arc::<W>,
+    )
 }
 
 fn raw_waker<W: ArcWake>(w: Arc<W>) -> RawWaker {
@@ -273,7 +278,11 @@ fn worker_loop(shared: &Arc<Shared>) {
                 // by notify_all, but a task completed by *another*
                 // executor's thread (block_on interleaving) could miss
                 // a notify; 1ms bounds the damage.
-                q = shared.cv.wait_timeout(q, Duration::from_millis(1)).unwrap().0;
+                q = shared
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(1))
+                    .unwrap()
+                    .0;
             }
         };
         task.state.store(RUNNING, Ordering::Release);

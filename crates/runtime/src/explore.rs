@@ -452,9 +452,7 @@ where
             }
             let better = match &best {
                 None => true,
-                Some((c, s)) => {
-                    o.outcome.cost > *c || (o.outcome.cost == *c && schedule < *s)
-                }
+                Some((c, s)) => o.outcome.cost > *c || (o.outcome.cost == *c && schedule < *s),
             };
             if better {
                 best = Some((o.outcome.cost, schedule.clone()));

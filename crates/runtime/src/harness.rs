@@ -118,6 +118,13 @@ impl WorkloadReport {
         self.stats.max_aborted_rmrs()
     }
 
+    /// Run-scoped amortized accounting: cumulative RMRs, passage and
+    /// abort counts, max single-passage debt, and the amortized
+    /// per-passage cost (see [`sal_obs::AmortizedStats`]).
+    pub fn amortized(&self) -> sal_obs::AmortizedStats {
+        self.stats.amortized()
+    }
+
     /// Mean RMRs over entered passages.
     pub fn mean_entered_rmrs(&self) -> f64 {
         self.stats.mean_entered_rmrs()

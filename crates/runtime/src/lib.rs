@@ -77,9 +77,6 @@ pub use explore::{
     explore, explore_guided, Decision, ExplorationResult, ExploreOptions, ForcedSchedule,
     GuidedOutcome,
 };
-pub use search::{
-    canonical_schedule, independent, OpTraceSink, SearchStrategy, StepOp, Strategy,
-};
 pub use gate::{stepped, StepGate, StepLayer, SteppedMem};
 pub use harness::{
     par_runs, run_lock, run_lock_core, run_lock_core_probed, run_lock_probed, run_one_shot,
@@ -91,4 +88,5 @@ pub use rng::SmallRng;
 pub use schedule::{
     BurstySchedule, RandomSchedule, RoundRobin, SchedStatus, SchedulePolicy, Scripted, PEEK_CAP,
 };
+pub use search::{canonical_schedule, independent, OpTraceSink, SearchStrategy, StepOp, Strategy};
 pub use sim::{default_lease, simulate, simulate_probed, ProcCtx, SimError, SimOptions, SimReport};

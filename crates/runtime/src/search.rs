@@ -243,7 +243,12 @@ pub trait SearchStrategy: Send {
 
     /// Digest an executed batch (same order as returned by
     /// [`next_batch`](Self::next_batch)) and enqueue successors.
-    fn absorb(&mut self, batch: &[RunView<'_>], opts: &ExploreOptions, counters: &mut SearchCounters);
+    fn absorb(
+        &mut self,
+        batch: &[RunView<'_>],
+        opts: &ExploreOptions,
+        counters: &mut SearchCounters,
+    );
 
     /// Prefixes still queued (reported as truncated work when the run
     /// budget ends the search first).
@@ -370,7 +375,13 @@ pub(crate) fn expand_children(
 
 /// Is the child "deviate to `q` at step `s`" redundant under the
 /// sleep-set rule? See [`expand_children`].
-fn prunable(view: &RunView<'_>, opts: &ExploreOptions, s: usize, q: Pid, deviations: usize) -> bool {
+fn prunable(
+    view: &RunView<'_>,
+    opts: &ExploreOptions,
+    s: usize,
+    q: Pid,
+    deviations: usize,
+) -> bool {
     let record = view.record;
     let ops = view.ops;
     // q's pending op: q is live but not running at s, so the op it will
@@ -433,7 +444,12 @@ impl SearchStrategy for BfsStrategy {
         self.queue.drain(..take).collect()
     }
 
-    fn absorb(&mut self, batch: &[RunView<'_>], opts: &ExploreOptions, counters: &mut SearchCounters) {
+    fn absorb(
+        &mut self,
+        batch: &[RunView<'_>],
+        opts: &ExploreOptions,
+        counters: &mut SearchCounters,
+    ) {
         let mut children = Vec::new();
         for view in batch {
             expand_children(view, opts, false, counters, &mut children);
@@ -479,7 +495,12 @@ impl SearchStrategy for DporStrategy {
         self.queue.drain(..take).collect()
     }
 
-    fn absorb(&mut self, batch: &[RunView<'_>], opts: &ExploreOptions, counters: &mut SearchCounters) {
+    fn absorb(
+        &mut self,
+        batch: &[RunView<'_>],
+        opts: &ExploreOptions,
+        counters: &mut SearchCounters,
+    ) {
         let mut children = Vec::new();
         for view in batch {
             if !view.fresh {
@@ -545,7 +566,12 @@ impl SearchStrategy for BestFirstStrategy {
         self.queue.drain(..take).map(|(_, p)| p).collect()
     }
 
-    fn absorb(&mut self, batch: &[RunView<'_>], opts: &ExploreOptions, counters: &mut SearchCounters) {
+    fn absorb(
+        &mut self,
+        batch: &[RunView<'_>],
+        opts: &ExploreOptions,
+        counters: &mut SearchCounters,
+    ) {
         let mut children = Vec::new();
         for view in batch {
             if !view.fresh {
@@ -672,7 +698,12 @@ impl SearchStrategy for FuzzStrategy {
         batch
     }
 
-    fn absorb(&mut self, batch: &[RunView<'_>], opts: &ExploreOptions, _counters: &mut SearchCounters) {
+    fn absorb(
+        &mut self,
+        batch: &[RunView<'_>],
+        opts: &ExploreOptions,
+        _counters: &mut SearchCounters,
+    ) {
         self.max_len = opts.max_branch_depth.max(1);
         for view in batch {
             if let Some(d0) = view.record.first() {
@@ -718,7 +749,10 @@ mod tests {
         assert!(independent(&r0, &r1), "read-read commutes");
         assert!(!independent(&r0, &w1), "read-write on one word conflicts");
         assert!(independent(&r0, &w1b), "disjoint words commute");
-        assert!(!independent(&r0, &op(0, OpKind::Read, 9, 0)), "same pid never commutes");
+        assert!(
+            !independent(&r0, &op(0, OpKind::Read, 9, 0)),
+            "same pid never commutes"
+        );
     }
 
     #[test]

@@ -125,7 +125,11 @@ enum Wait {
 impl Wait {
     /// Whether this limit has expired (`signal` is the abort signal the
     /// same entry point injected into the lock).
-    fn expired<S: AbortSignal + ?Sized>(&self, signal: &S, reason: AbortReason) -> Option<AbortReason> {
+    fn expired<S: AbortSignal + ?Sized>(
+        &self,
+        signal: &S,
+        reason: AbortReason,
+    ) -> Option<AbortReason> {
         match self {
             Wait::Forever => None,
             Wait::Until(t) => (Instant::now() >= *t).then_some(reason),
@@ -662,7 +666,13 @@ impl<K: Hash + Eq + Clone, T: Default> Arena<K, T> {
     {
         let entry = self.entry(key);
         let mode = self
-            .acquire_when(entry, &pred, &NeverAbort, &Wait::Forever, AbortReason::Caller)
+            .acquire_when(
+                entry,
+                &pred,
+                &NeverAbort,
+                &Wait::Forever,
+                AbortReason::Caller,
+            )
             .expect("unbounded lock_when cannot fail");
         self.guard(entry, mode)
     }
@@ -728,7 +738,11 @@ impl<K, T> Arena<K, T> {
             resident_cores: self.pool.resident(),
             built_cores: self.pool.built.load(Ordering::SeqCst),
             pool_capacity: self.pool.slots.len(),
-            keys: self.shards.iter().map(|s| s.map.read().unwrap().len()).sum(),
+            keys: self
+                .shards
+                .iter()
+                .map(|s| s.map.read().unwrap().len())
+                .sum(),
             promotions: self.promotions.load(Ordering::Relaxed),
             demotions: self.demotions.load(Ordering::Relaxed),
             raced_promotions: self.raced_promotions.load(Ordering::Relaxed),
@@ -914,7 +928,9 @@ impl<K, T> Arena<K, T> {
         };
         let core = self.pool.get(idx);
         core.users.fetch_add(1, Ordering::SeqCst); // the proxy's seat
-        let outcome = core.lock.enter_core(&core.mem, RESERVED, &NeverAbort, &NoProbe);
+        let outcome = core
+            .lock
+            .enter_core(&core.mem, RESERVED, &NeverAbort, &NoProbe);
         debug_assert!(outcome.entered(), "fresh core acquires immediately");
         if entry
             .word
@@ -1204,7 +1220,10 @@ mod tests {
         }
         assert_eq!(*arena.lock(&1), 8000, "no lost updates");
         let s = arena.stats();
-        assert_eq!(s.resident_cores, 0, "quiescent arena has demoted everything");
+        assert_eq!(
+            s.resident_cores, 0,
+            "quiescent arena has demoted everything"
+        );
         assert_eq!(s.promotions, s.demotions, "every promotion reclaimed");
         assert!(s.built_cores <= 4);
     }
@@ -1226,9 +1245,7 @@ mod tests {
         let start = Instant::now();
         let arena2 = Arc::clone(&arena);
         let t = std::thread::spawn(move || {
-            arena2
-                .try_lock_for(&1, Duration::from_millis(20))
-                .is_none()
+            arena2.try_lock_for(&1, Duration::from_millis(20)).is_none()
         });
         assert!(t.join().unwrap(), "waiter should time out");
         assert!(start.elapsed() >= Duration::from_millis(20));

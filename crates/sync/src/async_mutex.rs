@@ -717,7 +717,9 @@ where
                     }
                     EnterStep::Pending(_) => {
                         if hinted {
-                            mx.stats.futile_enter_wakeups.fetch_add(1, Ordering::Relaxed);
+                            mx.stats
+                                .futile_enter_wakeups
+                                .fetch_add(1, Ordering::Relaxed);
                         }
                         return Poll::Pending;
                     }
@@ -752,8 +754,7 @@ where
             loop {
                 let step = {
                     let pm = probed(&mx.m.mem, &mx.m.probe);
-                    mx.m
-                        .lock
+                    mx.m.lock
                         .poll_enter(&mut machine, &pm, pid, &Immediate, &mx.m.probe)
                 };
                 match step {

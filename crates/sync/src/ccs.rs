@@ -284,8 +284,10 @@ impl<T: ?Sized> CcsRegistry<T> {
         // fat-pointer transmute that changes only the lifetime bound)
         // is sound per the protocol on `Slot::cond`.
         unsafe {
-            *slot.cond.get() =
-                Some(std::mem::transmute::<*const (dyn Fn(&T) -> bool + 'a), StoredCond<T>>(ptr));
+            *slot.cond.get() = Some(std::mem::transmute::<
+                *const (dyn Fn(&T) -> bool + 'a),
+                StoredCond<T>,
+            >(ptr));
         }
         self.waiting.fetch_add(1, Ordering::SeqCst);
         slot.state.store(WAITING, Ordering::Release);
@@ -297,12 +299,10 @@ impl<T: ?Sized> CcsRegistry<T> {
     pub(crate) fn deregister(&self, pid: Pid) -> bool {
         let slot = &self.slots[pid];
         let notified = loop {
-            match slot.state.compare_exchange(
-                WAITING,
-                VACANT,
-                Ordering::Acquire,
-                Ordering::Acquire,
-            ) {
+            match slot
+                .state
+                .compare_exchange(WAITING, VACANT, Ordering::Acquire, Ordering::Acquire)
+            {
                 Ok(_) => break false,
                 Err(EVALUATING) => std::hint::spin_loop(),
                 Err(NOTIFIED) => {

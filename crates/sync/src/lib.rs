@@ -278,7 +278,6 @@ impl<T> AbortableMutex<T> {
     pub fn new(value: T) -> Self {
         Self::builder(value).build()
     }
-
 }
 
 impl<T, P: Probe> AbortableMutex<T, P> {
@@ -632,9 +631,7 @@ impl<'m, T: ?Sized, P: Probe> MutexGuard<'_, 'm, T, P> {
 
 impl<T: ?Sized, P: Probe> Drop for MutexGuard<'_, '_, T, P> {
     fn drop(&mut self) {
-        self.handle
-            .mutex
-            .unlock_with_eval(self.handle.pid);
+        self.handle.mutex.unlock_with_eval(self.handle.pid);
     }
 }
 

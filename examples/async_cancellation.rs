@@ -95,6 +95,10 @@ fn main() {
     assert_eq!(entered + aborted, 800);
     assert_eq!(m.free_pids(), 4, "every pid returned to the pool");
     let m = Arc::try_unwrap(m).expect("executor drained");
-    assert_eq!(m.into_inner(), entered, "each entered task incremented once");
+    assert_eq!(
+        m.into_inner(),
+        entered,
+        "each entered task incremented once"
+    );
     println!("ok: cancellation cost is bounded and nothing leaks");
 }

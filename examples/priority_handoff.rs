@@ -17,7 +17,11 @@ use std::time::{Duration, Instant};
 const LOW_PRIO_WORKERS: usize = 6;
 
 fn vip_wait(courteous: bool) -> Duration {
-    let resource = Arc::new(AbortableMutex::builder(0u64).capacity(LOW_PRIO_WORKERS + 1).build());
+    let resource = Arc::new(
+        AbortableMutex::builder(0u64)
+            .capacity(LOW_PRIO_WORKERS + 1)
+            .build(),
+    );
     let vip_wants_it = Arc::new(AtomicBool::new(false));
     let stop = Arc::new(AtomicBool::new(false));
 

@@ -31,7 +31,9 @@ fn main() {
         (0..CHUNKS)
             .map(|id| Chunk {
                 id,
-                mutex: AbortableMutex::builder(UNITS_PER_CHUNK).capacity(WORKERS + 1).build(),
+                mutex: AbortableMutex::builder(UNITS_PER_CHUNK)
+                    .capacity(WORKERS + 1)
+                    .build(),
             })
             .collect(),
     );

@@ -45,7 +45,10 @@ fn promotion_demotion_churn_balances() {
     assert_eq!(total, threads as u64 * reps, "lost updates under churn");
     let s = arena.stats();
     assert_eq!(s.resident_cores, 0, "cores leaked: {s:?}");
-    assert_eq!(s.promotions, s.demotions, "unbalanced promote/demote: {s:?}");
+    assert_eq!(
+        s.promotions, s.demotions,
+        "unbalanced promote/demote: {s:?}"
+    );
 }
 
 /// A herd of `lock_when` waiters across a transition: the predicate
@@ -194,7 +197,10 @@ fn disjoint_keys_stay_inline() {
         assert_eq!(*arena.lock(&t), reps);
     }
     let s = arena.stats();
-    assert_eq!(s.promotions, 0, "disjoint keys should never materialize: {s:?}");
+    assert_eq!(
+        s.promotions, 0,
+        "disjoint keys should never materialize: {s:?}"
+    );
     assert_eq!(s.built_cores, 0, "{s:?}");
 }
 

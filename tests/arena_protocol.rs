@@ -152,7 +152,11 @@ fn finish(p: &mut Proc, after: After) {
         After::Abort => p.aborted += 1,
     }
     p.passages_left -= 1;
-    p.pc = if p.passages_left == 0 { Pc::Done } else { Pc::Dispatch };
+    p.pc = if p.passages_left == 0 {
+        Pc::Done
+    } else {
+        Pc::Dispatch
+    };
 }
 
 /// All states reachable from `st` by letting proc `i` take one step.

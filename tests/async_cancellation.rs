@@ -83,7 +83,11 @@ fn cancellation_at_every_poll_count() {
             3,
             "k={k}: cancelled victim leaked its pid (holder owns the 4th)"
         );
-        assert_eq!(m.queued_tasks(), 0, "k={k}: victim left an admission ticket");
+        assert_eq!(
+            m.queued_tasks(),
+            0,
+            "k={k}: victim left an admission ticket"
+        );
 
         // No lost wakeup: a second waiter parked *after* the
         // cancellation must be woken by the release and then acquire.
@@ -146,13 +150,19 @@ fn cancelling_a_middle_waiter_preserves_the_queue() {
     assert_eq!(m.stats().cancelled_pending, 1);
 
     drop(g);
-    assert!(ka.load(Ordering::SeqCst) >= 1, "head waiter not woken by release");
+    assert!(
+        ka.load(Ordering::SeqCst) >= 1,
+        "head waiter not woken by release"
+    );
     let mut ga = match poll_with(&mut a, &wa) {
         Poll::Ready(ga) => ga,
         Poll::Pending => panic!("head waiter pending after release"),
     };
     *ga += 1;
-    assert!(poll_with(&mut c, &wc).is_pending(), "tail must wait for the head");
+    assert!(
+        poll_with(&mut c, &wc).is_pending(),
+        "tail must wait for the head"
+    );
     drop(ga);
     assert!(kc.load(Ordering::SeqCst) >= 1, "tail waiter not woken");
     let mut gc = match poll_with(&mut c, &wc) {

@@ -153,7 +153,10 @@ fn dropping_pending_futures_is_a_bounded_abort() {
             "{capacity} pids: a cancelled passage took {max_ops} shared-memory ops \
              — drop is not a bounded abort"
         );
-        assert_eq!(m.stats().cancelled_pending, ((capacity - 1) * attempts) as u64);
+        assert_eq!(
+            m.stats().cancelled_pending,
+            ((capacity - 1) * attempts) as u64
+        );
     }
 }
 
@@ -196,7 +199,11 @@ fn cancellation_storm_leaks_nothing() {
     });
     let m = Arc::try_unwrap(m).expect("executor drained");
     let total = entered.load(Ordering::Relaxed) + 1;
-    assert_eq!(m.into_inner(), total, "every entered passage incremented once");
+    assert_eq!(
+        m.into_inner(),
+        total,
+        "every entered passage incremented once"
+    );
 }
 
 #[test]

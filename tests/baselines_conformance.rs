@@ -7,21 +7,17 @@ use sal_bench::{build_lock, LockKind};
 use sal_memory::Mem;
 use sal_runtime::{run_lock, ProcPlan, RandomSchedule, WorkloadSpec};
 
+/// Registry-driven: every `LockKind::NAMES` entry at branching 4 (so a
+/// newly registered kind is conformance-gated without touching this
+/// file), plus extra branching variants of the tree locks.
 fn all_kinds() -> Vec<LockKind> {
-    vec![
+    let mut kinds = LockKind::all(4);
+    kinds.extend([
         LockKind::OneShot { b: 2 },
         LockKind::OneShot { b: 16 },
         LockKind::OneShotPlain { b: 2 },
-        LockKind::OneShotDsm { b: 4 },
-        LockKind::LongLivedSimple { b: 4 },
-        LockKind::LongLived { b: 4 },
-        LockKind::Mcs,
-        LockKind::Ticket,
-        LockKind::Tas,
-        LockKind::Tournament,
-        LockKind::Scott,
-        LockKind::Lee,
-    ]
+    ]);
+    kinds
 }
 
 fn conformance(kind: LockKind, n: usize, aborters: usize, seed: u64) {
@@ -102,6 +98,7 @@ fn heavier_contention_spot_checks() {
         LockKind::Tournament,
         LockKind::Scott,
         LockKind::Lee,
+        LockKind::JjAmortized,
     ] {
         conformance(kind, 12, 5, 99);
     }

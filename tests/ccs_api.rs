@@ -71,10 +71,16 @@ fn mailbox_roundtrip(policy: WakePolicy) {
             }
         }
     });
-    assert_eq!(consumed.load(Ordering::Relaxed), (CONSUMERS * ITEMS_EACH) as u64);
+    assert_eq!(
+        consumed.load(Ordering::Relaxed),
+        (CONSUMERS * ITEMS_EACH) as u64
+    );
     assert_eq!(m.waiters(), 0);
     let stats = m.ccs_stats();
-    assert!(stats.transitions > 0, "unlocks with waiters must be counted");
+    assert!(
+        stats.transitions > 0,
+        "unlocks with waiters must be counted"
+    );
     assert!(stats.wakeups > 0, "parked waiters must have been woken");
     if policy == WakePolicy::Evaluate {
         assert!(stats.evaluated > 0, "evaluate policy must run conditions");
@@ -202,7 +208,11 @@ fn single_item_many_waiters_loses_nothing() {
         }
     });
     assert_eq!(got.load(Ordering::Relaxed), ITEMS as u64);
-    assert_eq!(m.into_inner(), 0, "every produced unit consumed exactly once");
+    assert_eq!(
+        m.into_inner(),
+        0,
+        "every produced unit consumed exactly once"
+    );
 }
 
 #[test]

@@ -54,7 +54,11 @@ fn deadline_fires_while_queued_abort_is_observed() {
         );
     }
     drop(g);
-    assert_eq!(*holder.lock(), 0, "aborted waiters left the lock consistent");
+    assert_eq!(
+        *holder.lock(),
+        0,
+        "aborted waiters left the lock consistent"
+    );
 }
 
 #[test]
@@ -117,9 +121,7 @@ fn aborts_against_a_held_lock_take_bounded_steps() {
         let mem = probed(&raw, &stats);
 
         // Main thread (pid 0) takes and holds the lock.
-        assert!(lock
-            .enter_core(&mem, 0, &NeverAbort, &stats)
-            .entered());
+        assert!(lock.enter_core(&mem, 0, &NeverAbort, &stats).entered());
 
         let attempts_per_thread = 25usize;
         std::thread::scope(|s| {

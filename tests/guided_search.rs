@@ -28,7 +28,11 @@ fn best_first_rediscovers_the_worst_case_witness() {
         ..ExploreOptions::default()
     };
     let r = explore_guided(&opts, Strategy::BestFirst, |p| cell.guided_run(p));
-    assert!(r.violation.is_none(), "witness hunt found a real bug: {:?}", r.violation);
+    assert!(
+        r.violation.is_none(),
+        "witness hunt found a real bug: {:?}",
+        r.violation
+    );
     assert!(
         r.best_cost >= reference.max_entered_rmrs,
         "best-first reached only {} RMRs in {} runs; the hand-crafted witness costs {}",
@@ -83,7 +87,11 @@ fn results_are_identical_at_any_jobs_count() {
         aborters: 1,
         ..ExploreCell::new(LockKind::OneShot { b: 2 }, 3)
     };
-    for strategy in [Strategy::Dpor, Strategy::BestFirst, Strategy::Fuzz { seed: 7 }] {
+    for strategy in [
+        Strategy::Dpor,
+        Strategy::BestFirst,
+        Strategy::Fuzz { seed: 7 },
+    ] {
         let run_at = |jobs: usize| {
             let opts = ExploreOptions {
                 max_deviations: 2,
@@ -98,7 +106,12 @@ fn results_are_identical_at_any_jobs_count() {
         let a = run_at(1);
         let b = run_at(4);
         assert_eq!(a.runs, b.runs, "{}", strategy.label());
-        assert_eq!(a.visited, b.visited, "{}: executed different schedules", strategy.label());
+        assert_eq!(
+            a.visited,
+            b.visited,
+            "{}: executed different schedules",
+            strategy.label()
+        );
         assert_eq!(a.distinct_states, b.distinct_states, "{}", strategy.label());
         assert_eq!(a.pruned, b.pruned, "{}", strategy.label());
         assert_eq!(a.deduped, b.deduped, "{}", strategy.label());
@@ -106,6 +119,38 @@ fn results_are_identical_at_any_jobs_count() {
         assert_eq!(a.best_schedule, b.best_schedule, "{}", strategy.label());
         assert_eq!(a.violation, b.violation, "{}", strategy.label());
     }
+}
+
+/// The Jayanti–Jayanti lock as a registry cell under guided search:
+/// exhaustive BFS and pruned DPOR must agree on safety *and* on the
+/// worst observed passage cost of a contended abandoning cell.
+#[test]
+fn jj_amortized_bfs_and_dpor_agree_on_contended_cell() {
+    let cell = ExploreCell {
+        aborters: 1,
+        ..ExploreCell::new(LockKind::JjAmortized, 3)
+    };
+    let opts = ExploreOptions {
+        max_deviations: 1,
+        max_runs: 20_000,
+        max_branch_depth: 120,
+        ..ExploreOptions::default()
+    };
+    let bfs = explore_guided(&opts, Strategy::Bfs, |p| cell.guided_run(p));
+    let dpor = explore_guided(&opts, Strategy::Dpor, |p| cell.guided_run(p));
+    assert!(bfs.violation.is_none(), "BFS: {:?}", bfs.violation);
+    assert!(dpor.violation.is_none(), "DPOR: {:?}", dpor.violation);
+    assert!(!bfs.truncated && !dpor.truncated, "budget too small");
+    assert_eq!(
+        bfs.best_cost, dpor.best_cost,
+        "pruning changed the observed worst passage cost"
+    );
+    assert!(
+        dpor.runs <= bfs.runs,
+        "DPOR explored more than BFS: {} vs {}",
+        dpor.runs,
+        bfs.runs
+    );
 }
 
 /// The racy test-then-set lock from the explorer's own tests, with an

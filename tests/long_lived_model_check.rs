@@ -161,3 +161,68 @@ fn all_aborters_then_a_late_winner() {
         );
     }
 }
+
+// ---- the Jayanti–Jayanti constant-amortized lock, same gauntlet ----
+
+#[test]
+fn jj_repeated_passages_no_aborts() {
+    for seed in 0..40 {
+        check(
+            LockKind::JjAmortized,
+            vec![ProcPlan::normal(4); 4],
+            Box::new(RandomSchedule::seeded(seed)),
+            &format!("jj clean seed={seed}"),
+        );
+    }
+}
+
+#[test]
+fn jj_with_aborters_depositing_abandoned_nodes() {
+    // Aborters queue, abandon, and re-enter: the exit-walk consumption
+    // path (the amortization's potential function) runs constantly.
+    for seed in 0..40 {
+        let plans = vec![
+            ProcPlan::normal(3),
+            ProcPlan::aborter(3, 25),
+            ProcPlan::normal(3),
+            ProcPlan::aborter(3, 10),
+            ProcPlan::normal(3),
+        ];
+        check(
+            LockKind::JjAmortized,
+            plans,
+            Box::new(RandomSchedule::seeded(seed)),
+            &format!("jj aborts seed={seed}"),
+        );
+    }
+}
+
+#[test]
+fn jj_bursty_schedules_stress_node_reclamation() {
+    // A racing process re-enters before its previous node is consumed,
+    // hitting the reclaim-wait at the head of enter with POOL=2 nodes.
+    for seed in 0..40 {
+        check(
+            LockKind::JjAmortized,
+            vec![ProcPlan::normal(5); 3],
+            Box::new(BurstySchedule::seeded(seed, 0.9)),
+            &format!("jj bursty seed={seed}"),
+        );
+    }
+}
+
+#[test]
+fn jj_all_aborters_then_a_late_winner() {
+    // Every abandoned node must be consumed by someone's exit walk (or
+    // the empty-queue tail reset) for the late normal process to finish.
+    for seed in 0..25 {
+        let mut plans = vec![ProcPlan::aborter(2, 0); 5];
+        plans.push(ProcPlan::normal(2));
+        check(
+            LockKind::JjAmortized,
+            plans,
+            Box::new(RandomSchedule::seeded(seed)),
+            &format!("jj late winner seed={seed}"),
+        );
+    }
+}

@@ -11,7 +11,7 @@
 //! so no lock can behave differently depending on how it is dispatched.
 
 use sal_baselines::{LeeLock, McsLock, ScottLock, TasLock, TicketLock, TournamentLock};
-use sal_core::long_lived::{BoundedLongLivedLock, SimpleLongLivedLock};
+use sal_core::long_lived::{BoundedLongLivedLock, JjLock, SimpleLongLivedLock};
 use sal_core::one_shot::{DsmOneShotLock, OneShotLock};
 use sal_core::{AbortableLock, LockCore};
 use sal_memory::{CcMemory, Mem, MemoryBuilder, Pid, WordId};
@@ -31,7 +31,10 @@ fn build<L>(make: &impl Fn(&mut MemoryBuilder, usize) -> L, n: usize) -> (L, CcM
 fn assert_reports_equal(label: &str, mono: &WorkloadReport, dynr: &WorkloadReport) {
     assert_eq!(mono.passages, dynr.passages, "{label}: passage records");
     assert_eq!(mono.steps, dynr.steps, "{label}: step counts");
-    assert_eq!(mono.outcomes, dynr.outcomes, "{label}: per-process outcomes");
+    assert_eq!(
+        mono.outcomes, dynr.outcomes,
+        "{label}: per-process outcomes"
+    );
     assert_eq!(mono.events, dynr.events, "{label}: event logs");
     assert_eq!(
         mono.mutex_check.is_ok(),
@@ -51,13 +54,21 @@ fn assert_reports_equal(label: &str, mono: &WorkloadReport, dynr: &WorkloadRepor
 /// flavour: the runs share nothing but the construction recipe.
 fn check<L, F, P>(label: &str, make: F, n: usize, spec: &WorkloadSpec, policy: P, one_shot: bool)
 where
-    L: AbortableLock + for<'a> LockCore<SteppedMem<'a, CcMemory>, (PassageStats, NoProbe)> + 'static,
+    L: AbortableLock
+        + for<'a> LockCore<SteppedMem<'a, CcMemory>, (PassageStats, NoProbe)>
+        + 'static,
     F: Fn(&mut MemoryBuilder, usize) -> L,
     P: Fn() -> Box<dyn SchedulePolicy>,
 {
     let (mono_lock, mono_mem, mono_cs) = build(&make, n);
     let mono = run_lock_core_probed(
-        &mono_lock, &mono_mem, mono_cs, spec, policy(), one_shot, NoProbe,
+        &mono_lock,
+        &mono_mem,
+        mono_cs,
+        spec,
+        policy(),
+        one_shot,
+        NoProbe,
     )
     .expect("mono run failed");
 
@@ -78,7 +89,11 @@ where
         "{label}: total RMRs"
     );
     for p in 0..n {
-        assert_eq!(mono_mem.ops(p), dyn_mem.ops(p), "{label}: ops of process {p}");
+        assert_eq!(
+            mono_mem.ops(p),
+            dyn_mem.ops(p),
+            "{label}: ops of process {p}"
+        );
     }
 }
 
@@ -152,12 +167,7 @@ long_lived_case!(
     6,
     2
 );
-long_lived_case!(
-    tournament_mono_equals_dyn,
-    |b, n| TournamentLock::layout(b, n),
-    6,
-    2
-);
+long_lived_case!(tournament_mono_equals_dyn, TournamentLock::layout, 6, 2);
 long_lived_case!(tas_mono_equals_dyn, |b, _n| TasLock::layout(b), 4, 2);
 long_lived_case!(
     scott_mono_equals_dyn,
@@ -171,6 +181,7 @@ long_lived_case!(
     6,
     2
 );
+long_lived_case!(jj_mono_equals_dyn, JjLock::layout, 6, 2);
 
 /// The non-abortable classics run the no-abort flavour of the same
 /// differential check.
@@ -180,7 +191,7 @@ fn classic_locks_mono_equals_dyn() {
     let spec = WorkloadSpec::uniform(n, 3);
     check(
         "mcs/scripted",
-        |b, n| McsLock::layout(b, n),
+        McsLock::layout,
         n,
         &spec,
         || scripted(n),
@@ -197,7 +208,7 @@ fn classic_locks_mono_equals_dyn() {
     for seed in seeds() {
         check(
             &format!("mcs/seed{seed}"),
-            |b, n| McsLock::layout(b, n),
+            McsLock::layout,
             n,
             &spec,
             || Box::new(RandomSchedule::seeded(seed)),

@@ -159,7 +159,8 @@ fn mono_and_dyn_paths_both_preserve_the_cs_invariant() {
     assert!(m_entered > 0);
 
     let mut b = MemoryBuilder::new();
-    let dyn_lock: Arc<dyn AbortableLock> = Arc::new(BoundedLongLivedLock::layout(&mut b, threads, 8));
+    let dyn_lock: Arc<dyn AbortableLock> =
+        Arc::new(BoundedLongLivedLock::layout(&mut b, threads, 8));
     let dyn_mem = Arc::new(b.build_raw(threads));
     let (d_entered, d_aborted) = hammer(dyn_lock, dyn_mem, threads, 200, Some(3));
     assert_eq!(d_entered + d_aborted, 6 * 200);

@@ -329,6 +329,95 @@ fn strategies_agree_on_the_long_lived_config() {
     });
 }
 
+/// One forced-schedule run of the Jayanti–Jayanti lock: `n` processes
+/// take 2 passages each; `aborter_delay[p] = Some(k)` makes process
+/// `p` signal abort `k` global steps into each enter (a signalled
+/// enter may still win the CAS race and enter — both resolutions are
+/// counted).
+fn jj_guided(policy: ForcedSchedule, n: usize, aborter_delay: &[Option<u64>]) -> GuidedOutcome {
+    let mut builder = MemoryBuilder::new();
+    let lock = sal_core::long_lived::JjLock::layout(&mut builder, n);
+    let cs = builder.alloc(0);
+    let mem = builder.build_cc(n);
+    let traced = Layered::over(&mem, OpTraceSink::new());
+    let entered_total = std::sync::atomic::AtomicU64::new(0);
+    let report = simulate(
+        &traced,
+        n,
+        Box::new(policy),
+        SimOptions {
+            max_steps: 200_000,
+            abort_plan: vec![],
+            lease: sal_runtime::default_lease(),
+        },
+        |ctx| {
+            for _ in 0..2 {
+                let entered = match aborter_delay[ctx.pid] {
+                    None => lock.enter(ctx.mem, ctx.pid, &sal_memory::NeverAbort),
+                    Some(delay) => {
+                        let deadline = ctx.steps() + delay;
+                        let sig = SignalFn(|| ctx.steps() >= deadline);
+                        lock.enter(ctx.mem, ctx.pid, &sig)
+                    }
+                };
+                if entered {
+                    ctx.event(EventKind::CsEnter);
+                    ctx.mem.faa(ctx.pid, cs, 1);
+                    ctx.event(EventKind::CsLeave);
+                    lock.exit(ctx.mem, ctx.pid);
+                    entered_total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                } else {
+                    ctx.event(EventKind::Aborted);
+                }
+            }
+        },
+    );
+    let ops = traced.into_layer().take();
+    let verdict = (|| {
+        let report = report.map_err(|e| e.to_string())?;
+        report
+            .log
+            .check_mutual_exclusion()
+            .map_err(|v| format!("mutual exclusion violated: {v:?}"))?;
+        if mem.read(0, cs) != entered_total.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err("CS counter inconsistent".into());
+        }
+        // Non-aborting processes must complete both passages: no
+        // abandoned node may wedge the queue.
+        let expected: u64 = 2 * aborter_delay.iter().filter(|d| d.is_none()).count() as u64;
+        if entered_total.load(std::sync::atomic::Ordering::Relaxed) < expected {
+            return Err("a normal process lost a passage".into());
+        }
+        Ok(())
+    })();
+    GuidedOutcome {
+        verdict,
+        ops,
+        cost: 0,
+    }
+}
+
+#[test]
+fn strategies_agree_on_the_jj_amortized_configs() {
+    // Clean two-process config (every interleaving of 2×2 passages),
+    // then an abandoning config: process 1 signals abort mid-enter,
+    // exercising the abort/grant CAS race and the exit-walk consumption
+    // of abandoned nodes under every explored schedule.
+    let configs: &[(&str, &[Option<u64>])] = &[
+        ("jj clean n=2", &[None, None]),
+        ("jj aborting n=2", &[None, Some(6)]),
+    ];
+    for &(label, delays) in configs {
+        let opts = ExploreOptions {
+            max_deviations: 1,
+            max_runs: 20_000,
+            max_branch_depth: 120,
+            ..ExploreOptions::default()
+        };
+        assert_strategies_agree(&opts, label, |policy| jj_guided(policy, 2, delays));
+    }
+}
+
 /// A deliberately racy test-then-set "lock": the equivalence contract
 /// must hold on *violating* configs too — all three strategies find a
 /// violation and canonicalize to the same least witness.
